@@ -1,0 +1,64 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one paper figure (or ablation) exactly once
+(`rounds=1` — these are experiment drivers, not microbenchmarks), prints
+the figure's text rendering and archives it under ``benchmarks/output/``
+so a full run leaves a reviewable record.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import paper_16switch_setup, paper_24switch_setup
+from repro.simulation.config import SimulationConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+# The evaluation configuration used by all simulation benchmarks.  Smaller
+# than a production run but big enough for stable curves; override with
+# REPRO_BENCH_{WARMUP,MEASURE} for higher fidelity.
+BENCH_CONFIG = SimulationConfig(
+    message_length=16,
+    buffer_flits=2,
+    warmup_cycles=int(os.environ.get("REPRO_BENCH_WARMUP", 500)),
+    measure_cycles=int(os.environ.get("REPRO_BENCH_MEASURE", 2000)),
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def setup16():
+    return paper_16switch_setup()
+
+
+@pytest.fixture(scope="session")
+def setup24():
+    return paper_24switch_setup()
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BENCH_CONFIG
+
+
+@pytest.fixture
+def record():
+    """Print a figure rendering and archive it under benchmarks/output/."""
+
+    def _record(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[archived to benchmarks/output/{name}.txt]")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,66 @@
+"""Ablation: equivalent distances vs plain hop counts as the search metric.
+
+The paper's model of communication cost (Section 3) credits parallel
+shortest paths via electrical resistance.  This bench asks: does that
+matter, or would hop counts do?  We schedule with both tables and score
+every result under (a) the equivalent-distance criterion and (b) measured
+saturation throughput.
+"""
+
+from conftest import run_once
+
+from repro.core.mapping import Workload
+from repro.core.scheduler import CommunicationAwareScheduler
+from repro.distance.table import hop_distance_table
+from repro.routing.tables import RoutingTable
+from repro.routing.updown import UpDownRouting
+from repro.simulation.sweep import find_saturation_rate
+from repro.simulation.traffic import IntraClusterTraffic
+from repro.topology.irregular import random_irregular_topology
+from repro.util.reporting import Table
+
+
+def test_ablation_distance_model(benchmark, bench_config, record):
+    def run():
+        rows = []
+        for seed in (42, 43, 44):
+            topo = random_irregular_topology(16, seed=seed)
+            routing = UpDownRouting(topo)
+            rt = RoutingTable(routing)
+            workload = Workload.uniform(4, 16)
+            sched_eq = CommunicationAwareScheduler(topo, routing=routing)
+            sched_hop = CommunicationAwareScheduler(
+                topo, routing=routing, table=hop_distance_table(routing)
+            )
+            for name, sched in (("equivalent", sched_eq), ("hops", sched_hop)):
+                res = sched.schedule(workload, seed=1)
+                tp = find_saturation_rate(
+                    rt, IntraClusterTraffic(res.mapping), bench_config
+                )["throughput"]
+                scores = sched_eq.evaluate(res.partition)
+                rows.append({
+                    "topology seed": seed,
+                    "metric": name,
+                    "F_G (equiv criterion)": scores["F_G"],
+                    "C_c": scores["C_c"],
+                    "sat. throughput": tp,
+                })
+        return rows
+
+    rows = run_once(benchmark, run)
+    t = Table(list(rows[0].keys()),
+              title="ablation - equivalent distance vs hop count")
+    for row in rows:
+        t.add_row(list(row.values()), digits=4)
+    record("ablation_distance_model", t.render())
+
+    # The equivalent-distance table always wins (or ties) on its own
+    # criterion, and never loses badly on measured throughput.
+    for seed in {r["topology seed"] for r in rows}:
+        eq = next(r for r in rows
+                  if r["topology seed"] == seed and r["metric"] == "equivalent")
+        hp = next(r for r in rows
+                  if r["topology seed"] == seed and r["metric"] == "hops")
+        assert eq["F_G (equiv criterion)"] <= \
+            hp["F_G (equiv criterion)"] + 1e-9
+        assert eq["sat. throughput"] >= 0.75 * hp["sat. throughput"]

@@ -1,0 +1,55 @@
+"""Ablation: sensitivity to the 100 %-intracluster traffic assumption.
+
+The paper assumes every message stays inside its application and defers
+mixed traffic to future work.  This bench dials in an intercluster
+fraction (0 → 50 %) and measures how the OP mapping's advantage over a
+random mapping erodes: cross-cluster messages cannot benefit from
+clustering, so the gap must shrink monotonically-ish toward 1× — but
+should remain material at realistic fractions.
+"""
+
+from conftest import run_once
+
+from repro.simulation.sweep import find_saturation_rate
+from repro.simulation.traffic import IntraClusterTraffic
+from repro.util.reporting import Table
+
+FRACTIONS = (0.0, 0.1, 0.3, 0.5)
+
+
+def test_ablation_intercluster(benchmark, setup16, bench_config, record):
+    op = setup16.op_mapping()
+    rnd = setup16.random_mappings(1)[0]
+
+    def run():
+        rows = []
+        for frac in FRACTIONS:
+            tps = {}
+            for rec in (op, rnd):
+                traffic = IntraClusterTraffic(
+                    rec.mapping, intercluster_fraction=frac
+                )
+                tps[rec.name] = find_saturation_rate(
+                    setup16.routing_table, traffic, bench_config
+                )["throughput"]
+            rows.append({
+                "intercluster fraction": frac,
+                "OP throughput": tps["OP"],
+                "random throughput": tps[rnd.name],
+                "OP / random": tps["OP"] / tps[rnd.name],
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    t = Table(list(rows[0].keys()),
+              title="ablation - intercluster traffic fraction")
+    for row in rows:
+        t.add_row(list(row.values()), digits=4)
+    record("ablation_intercluster", t.render())
+
+    ratios = [r["OP / random"] for r in rows]
+    # Pure intracluster shows the largest gap; half-mixed the smallest.
+    assert ratios[0] == max(ratios)
+    assert ratios[-1] < ratios[0]
+    # The advantage survives a modest 10 % cross-traffic.
+    assert rows[1]["OP / random"] > 1.3

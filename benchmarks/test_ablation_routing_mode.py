@@ -1,0 +1,51 @@
+"""Ablation: deterministic vs adaptive up*/down* forwarding.
+
+The distance model counts *all* shortest legal paths; whether the
+simulator lets headers use them (adaptive) or pins one next hop per
+(switch, destination) pair (deterministic) changes how much of that path
+diversity is realized.  Both modes must preserve the OP > random ordering;
+adaptive should deliver equal or better absolute throughput.
+"""
+
+from conftest import run_once
+
+from dataclasses import replace
+
+from repro.simulation.sweep import find_saturation_rate
+from repro.simulation.traffic import IntraClusterTraffic
+from repro.util.reporting import Table
+
+
+def test_ablation_routing_mode(benchmark, setup16, bench_config, record):
+    op = setup16.op_mapping()
+    rnd = setup16.random_mappings(1)[0]
+
+    def run():
+        rows = []
+        for adaptive in (True, False):
+            cfg = replace(bench_config, adaptive=adaptive)
+            for rec in (op, rnd):
+                tp = find_saturation_rate(
+                    setup16.routing_table, IntraClusterTraffic(rec.mapping),
+                    cfg,
+                )["throughput"]
+                rows.append({
+                    "forwarding": "adaptive" if adaptive else "deterministic",
+                    "mapping": rec.name,
+                    "sat. throughput": tp,
+                })
+        return rows
+
+    rows = run_once(benchmark, run)
+    t = Table(list(rows[0].keys()),
+              title="ablation - adaptive vs deterministic up*/down*")
+    for row in rows:
+        t.add_row(list(row.values()), digits=4)
+    record("ablation_routing_mode", t.render())
+
+    by = {(r["forwarding"], r["mapping"]): r["sat. throughput"] for r in rows}
+    # OP > random in both modes.
+    assert by[("adaptive", "OP")] > by[("adaptive", rnd.name)]
+    assert by[("deterministic", "OP")] > by[("deterministic", rnd.name)]
+    # Adaptive never materially worse than deterministic.
+    assert by[("adaptive", "OP")] >= 0.85 * by[("deterministic", "OP")]

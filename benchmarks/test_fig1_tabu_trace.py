@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 1 (Tabu search trace, 16-switch network).
+
+Paper shape: 10 restart peaks, rapid descent within the first iterations
+of each seed, and the global minimum reached from only some restarts.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig1_tabu_trace import render_fig1, run_fig1
+
+
+def test_fig1_tabu_trace(benchmark, setup16, record):
+    res = run_once(benchmark, lambda: run_fig1(setup16, seed=1))
+    record("fig1_tabu_trace", render_fig1(res))
+
+    assert res.num_restarts == 10
+    for idx in res.restart_indices:
+        assert res.trace[idx] > 2 * res.best_value, \
+            "each restart must begin at a high (random-mapping) value"
+    assert 1 <= res.restarts_reaching_best <= 10

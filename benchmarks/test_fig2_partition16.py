@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 2 (4-cluster partition, 16-switch network).
+
+Paper shape: the technique produces a balanced partition of exactly four
+4-switch clusters with a markedly better quality score than random.
+"""
+
+from conftest import run_once
+
+from repro.core.mapping import random_partition
+from repro.experiments.fig2_partition16 import render_fig2, run_fig2
+
+
+def test_fig2_partition16(benchmark, setup16, record):
+    res = run_once(benchmark, lambda: run_fig2(setup16, seed=1))
+    record("fig2_partition16", render_fig2(res))
+
+    assert sorted(len(c) for c in res.partition.clusters()) == [4, 4, 4, 4]
+    assert res.f_g < 0.6, "scheduled F_G must be far below the random ~1.0"
+    assert res.c_c > 2.0
+
+    # A priori comparison against random mappings on the same criterion.
+    random_ccs = [
+        setup16.scheduler.evaluate(
+            random_partition([4] * 4, 16, seed=s)
+        )["C_c"]
+        for s in range(9)
+    ]
+    assert all(res.c_c > c for c in random_ccs)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 4 (partition of the designed 24-switch net).
+
+Paper shape: on a network "especially designed with four interconnected
+rings of 6 nodes", the scheduling technique identifies the rings.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig4_partition24 import render_fig4, run_fig4
+
+
+def test_fig4_partition24(benchmark, setup24, record):
+    res = run_once(benchmark, lambda: run_fig4(setup24, seed=1))
+    record("fig4_partition24", render_fig4(res))
+
+    assert res.matches_expected is True, \
+        "the technique must recover the four designed rings exactly"
+    assert sorted(len(c) for c in res.partition.clusters()) == [6, 6, 6, 6]

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 5 (simulation of the designed 24-switch net).
+
+Paper shape: the OP/random throughput gap is much larger than on the
+16-switch network (paper: ~5x vs ~1.85x) because random mappings must push
+almost all traffic across the sparse inter-ring links; C_c(OP) is also
+higher than on the 16-switch network (better-defined clusters).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig3_sim16 import run_fig3
+from repro.experiments.fig5_sim24 import render_fig5, run_fig5
+
+
+def test_fig5_sim24(benchmark, setup16, setup24, bench_config, record):
+    res = run_once(
+        benchmark,
+        lambda: run_fig5(setup24, num_random=3, config=bench_config),
+    )
+    record("fig5_sim24", render_fig5(res))
+
+    # OP dominates every random mapping, by a large factor.
+    assert res.op_over_best_random > 2.5, (
+        f"expected a >2.5x gap on the designed network, got "
+        f"{res.op_over_best_random:.2f}x"
+    )
+
+    # Comparative claims against the 16-switch experiment (quick version).
+    fig3 = run_fig3(setup16, num_random=3, config=bench_config)
+    assert res.op_over_best_random > fig3.op_over_best_random, \
+        "designed-network gap must exceed the random-16-switch gap"
+    assert res.op_record.c_c > fig3.op_record.c_c, \
+        "C_c(OP) on the designed network must exceed the 16-switch value"

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 6 (correlation of C_c with performance).
+
+Paper shape: across the Figure 3 mappings, C_c correlates strongly with
+network performance at low load (paper: ~85 % for S1-S4) and in deep
+saturation (~75 % for S7-S9); the mid-ladder points are less reliable
+because mappings straddle their saturation knees there.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig3_sim16 import run_fig3
+from repro.experiments.fig6_correlation import (
+    correlations_from_sim,
+    render_fig6,
+)
+
+
+def test_fig6_correlation(benchmark, setup16, bench_config, record):
+    def run():
+        sim = run_fig3(setup16, num_random=9, config=bench_config)
+        return correlations_from_sim(sim)
+
+    res = run_once(benchmark, run)
+    record("fig6_correlation", render_fig6(res))
+
+    assert res.low_load_power_corr() > 0.7, \
+        "C_c must predict performance at low load (paper: ~0.85)"
+    assert res.saturation_power_corr() > 0.7, \
+        "C_c must predict performance in saturation (paper: ~0.75)"
+    # In saturation the raw accepted-traffic correlation is also strong.
+    assert min(res.corr_accepted[-3:]) > 0.6

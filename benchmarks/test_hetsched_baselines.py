@@ -1,0 +1,53 @@
+"""Benchmark: the computation-aware baselines (Braun-style comparison).
+
+Background substrate check: on the standard ETC workloads, the classical
+heuristics must rank the way the literature reports — Min-min/Duplex
+among the best, OLB the worst, MET terrible on consistent matrices.
+"""
+
+from conftest import run_once
+
+import numpy as np
+
+from repro.hetsched.heuristics import HEURISTICS
+from repro.hetsched.workload import generate_etc
+from repro.util.reporting import Table
+
+CASES = [
+    ("consistent", dict(consistency="consistent")),
+    ("semiconsistent", dict(consistency="semiconsistent")),
+    ("inconsistent", dict(consistency="inconsistent")),
+]
+
+
+def test_hetsched_baselines(benchmark, record):
+    def run():
+        rows = []
+        for label, kwargs in CASES:
+            makespans = {name: [] for name in HEURISTICS}
+            for seed in range(8):
+                etc = generate_etc(128, 16, seed=seed, **kwargs)
+                for name, h in HEURISTICS.items():
+                    makespans[name].append(h.schedule(etc).makespan)
+            rows.append({
+                "etc class": label,
+                **{name: float(np.mean(vals))
+                   for name, vals in makespans.items()},
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    t = Table(list(rows[0].keys()),
+              title="computation-aware baselines - mean makespan "
+                    "(128 tasks x 16 machines, 8 seeds)")
+    for row in rows:
+        t.add_row(list(row.values()), digits=5)
+    record("hetsched_baselines", t.render())
+
+    for row in rows:
+        # Min-min (via duplex) beats OLB and MET everywhere.
+        assert row["duplex"] <= row["olb"]
+        assert row["minmin"] <= row["olb"]
+    consistent = rows[0]
+    # MET collapses on consistent matrices (everything piles on machine 0).
+    assert consistent["met"] > 2 * consistent["minmin"]

@@ -1,0 +1,73 @@
+"""Extension bench: process-level optimization under relaxed assumptions.
+
+The paper's future work lifts the one-process-per-whole-switch assumption
+and equal communication requirements.  This bench runs the process-level
+optimizer (`repro.search.process_local`) on a workload whose cluster sizes
+do not divide into switches and whose weights differ, then *measures* the
+resulting mapping in the simulator against random process placement.
+"""
+
+from conftest import run_once
+
+from repro.core.mapping import LogicalCluster, Workload
+from repro.core.scheduler import CommunicationAwareScheduler
+from repro.search.process_local import (
+    ProcessMappingOptimizer,
+    random_process_mapping,
+)
+from repro.simulation.sweep import find_saturation_rate
+from repro.simulation.traffic import IntraClusterTraffic
+from repro.topology.irregular import random_irregular_topology
+from repro.routing.tables import RoutingTable
+from repro.util.reporting import Table
+
+
+def test_process_level_extension(benchmark, bench_config, record):
+    topo = random_irregular_topology(16, seed=42)
+    sched = CommunicationAwareScheduler(topo)
+    rt = RoutingTable(sched.routing)
+    # 10 + 22 + 32 = 64 processes; none is a multiple of 4 except the last.
+    workload = Workload([
+        LogicalCluster("streaming", 10, comm_weight=3.0),
+        LogicalCluster("simulation", 22, comm_weight=1.0),
+        LogicalCluster("batch", 32, comm_weight=0.5),
+    ])
+
+    def run():
+        opt = ProcessMappingOptimizer(sched.table, workload, topo)
+        optimized = opt.optimize(seed=0, restarts=4)
+        randoms = [
+            random_process_mapping(workload, topo, seed=100 + s)
+            for s in range(3)
+        ]
+        rows = []
+        for name, mapping, cost in (
+            [("optimized", optimized.mapping, optimized.cost)]
+            + [
+                (f"random-{i}", m, opt.cost_of(m))
+                for i, m in enumerate(randoms)
+            ]
+        ):
+            traffic = IntraClusterTraffic(mapping, weighted=True)
+            tp = find_saturation_rate(rt, traffic, bench_config)["throughput"]
+            rows.append({
+                "mapping": name,
+                "weighted cost": cost,
+                "sat. throughput": tp,
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    t = Table(list(rows[0].keys()),
+              title="extension - process-level mapping, uneven weighted "
+                    "workload")
+    for row in rows:
+        t.add_row(list(row.values()), digits=4)
+    record("process_level_extension", t.render())
+
+    opt_row = rows[0]
+    for row in rows[1:]:
+        assert opt_row["weighted cost"] < row["weighted cost"]
+        assert opt_row["sat. throughput"] > row["sat. throughput"], (
+            f"optimized mapping must out-deliver {row['mapping']}"
+        )

@@ -1,0 +1,27 @@
+"""Benchmark: the Section 5.2 closing claim over multiple networks.
+
+"The correlation index for any of the considered networks was higher than
+70 % for simulation points at both low network load and network
+saturation."
+"""
+
+from conftest import run_once
+
+from repro.experiments.survey import render_survey, run_survey
+
+
+def test_survey_topologies(benchmark, bench_config, record):
+    res = run_once(
+        benchmark,
+        lambda: run_survey(topology_seeds=(42, 43, 44, 45),
+                           num_random=5, config=bench_config),
+    )
+    record("survey_topologies", render_survey(res))
+
+    assert res.all_correlations_above(0.6), (
+        "C_c/performance correlation must hold on every surveyed network "
+        "(paper threshold: 0.70 with its scalar; 0.60 asserted here to "
+        "absorb sweep noise at this fidelity)"
+    )
+    assert res.min_ratio() > 1.2, \
+        "the OP mapping must beat random mappings on every surveyed network"

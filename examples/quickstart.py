@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: schedule four parallel applications on a 64-workstation NOW.
+
+Builds the paper's standard scenario — a random irregular network of 16
+eight-port switches (4 workstations each), four applications of 16
+processes — runs the communication-aware Tabu scheduler, and compares the
+resulting mapping against random placement both *a priori* (clustering
+coefficient) and *measured* (flit-level simulation at a saturating load).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CommunicationAwareScheduler,
+    IntraClusterTraffic,
+    RoutingTable,
+    SimulationConfig,
+    WormholeNetworkSimulator,
+    Workload,
+    random_irregular_topology,
+)
+from repro.util.reporting import Table
+
+
+def main() -> None:
+    # 1. The machine: 16 switches x 4 workstations, 3 inter-switch links
+    #    per switch, up*/down* routing (built by the scheduler).
+    topo = random_irregular_topology(16, seed=42)
+    print(f"machine: {topo.num_switches} switches, {topo.num_hosts} hosts, "
+          f"{topo.num_links} links, diameter {topo.diameter()}")
+
+    # 2. The workload: four applications ("users"), 16 processes each; all
+    #    communication stays inside an application.
+    workload = Workload.uniform(4, 16)
+
+    # 3. Communication-aware scheduling (table of equivalent distances +
+    #    multi-start Tabu search minimizing F_G).
+    scheduler = CommunicationAwareScheduler(topo)
+    op = scheduler.schedule(workload, seed=1)
+    print("\nscheduled mapping (OP):")
+    print(" ", op.summary())
+
+    baseline = scheduler.random_schedule(workload, seed=100)
+    print("random mapping (baseline):")
+    print(" ", baseline.summary())
+
+    # 4. Measure both mappings in the wormhole simulator at a load that
+    #    saturates the random mapping.
+    table = RoutingTable(scheduler.routing)
+    config = SimulationConfig(warmup_cycles=500, measure_cycles=2000, seed=7)
+    rate = 0.02  # messages / cycle / workstation
+
+    report = Table(["mapping", "C_c", "offered", "accepted", "avg latency"],
+                   title="\nsimulation at a saturating load "
+                         "(flits/switch/cycle, cycles)")
+    for name, result in (("OP", op), ("random", baseline)):
+        sim = WormholeNetworkSimulator(
+            table, IntraClusterTraffic(result.mapping), rate, config
+        )
+        out = sim.run()
+        report.add_row([
+            name,
+            result.c_c,
+            out.offered_flits_per_switch_cycle,
+            out.accepted_flits_per_switch_cycle,
+            out.avg_latency,
+        ])
+    print(report.render())
+    print("\nThe scheduled mapping should accept substantially more traffic "
+          "at lower latency;\nits clustering coefficient predicted that "
+          "before a single message was simulated.")
+
+
+if __name__ == "__main__":
+    main()

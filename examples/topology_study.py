@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Regular vs irregular topologies: the technique is topology-agnostic.
+
+The paper closes Section 2 with: "this scheduling technique is applicable
+to both regular and irregular topologies".  This example runs the full
+pipeline (up*/down* routing → equivalent distances → Tabu) over a family
+of networks and reports, for each: the clustering coefficient achieved,
+the gap to random mappings, and whether the distance model deviates from
+plain hop counts (i.e. where the resistance model actually matters).
+
+Run:  python examples/topology_study.py
+"""
+
+from repro import (
+    CommunicationAwareScheduler,
+    Workload,
+    four_rings_topology,
+    random_irregular_topology,
+)
+from repro.distance.metrics import distance_hop_correlation, triangle_violations
+from repro.distance.table import hop_distance_table
+from repro.topology.designed import (
+    hypercube_topology,
+    mesh_topology,
+    torus_topology,
+)
+from repro.util.reporting import Table
+from repro.util.stats import summarize
+
+
+def study(name, topo, clusters, per_cluster):
+    scheduler = CommunicationAwareScheduler(topo)
+    workload = Workload.uniform(
+        clusters, per_cluster * topo.hosts_per_switch
+    )
+    op = scheduler.schedule(workload, seed=1)
+    randoms = [scheduler.random_schedule(workload, seed=100 + s).c_c
+               for s in range(8)]
+    hops = hop_distance_table(scheduler.routing)
+    return {
+        "topology": name,
+        "switches": topo.num_switches,
+        "C_c (OP)": op.c_c,
+        "C_c (random mean)": summarize(randoms)["mean"],
+        "tri. violations": triangle_violations(scheduler.table),
+        "corr(T, hops)": distance_hop_correlation(scheduler.table, hops),
+    }
+
+
+def main() -> None:
+    cases = [
+        ("random irregular 16", random_irregular_topology(16, seed=42), 4, 4),
+        ("random irregular 24", random_irregular_topology(24, seed=42), 4, 6),
+        ("four rings 4x6", four_rings_topology(), 4, 6),
+        ("mesh 4x4", mesh_topology(4, 4), 4, 4),
+        ("torus 4x4", torus_topology(4, 4), 4, 4),
+        ("hypercube 4d", hypercube_topology(4), 4, 4),
+    ]
+    rows = [study(*case) for case in cases]
+    t = Table(list(rows[0].keys()),
+              title="communication-aware scheduling across topology families:")
+    for row in rows:
+        t.add_row(list(row.values()), digits=3)
+    print(t.render())
+    print(
+        "\nReading the table: C_c(OP) >> C_c(random) on every family — the "
+        "technique is\ntopology-agnostic.  'tri. violations' > 0 shows the "
+        "equivalent-distance table is\nnot a metric (why the paper uses "
+        "combinatorial search, not Euclidean clustering);\ncorr(T, hops) < 1 "
+        "marks the topologies where path diversity makes the resistance\n"
+        "model genuinely different from hop counting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Video-on-demand farm: bandwidth-bound applications of unequal intensity.
+
+The paper motivates communication-aware scheduling with "applications with
+huge network bandwidth requirements, like multimedia applications,
+video-on-demand applications".  This example models a NOW shared by three
+VoD services and one batch-analytics application:
+
+- the VoD services stream constantly (high communication weight);
+- analytics communicates rarely (low weight);
+- a small fraction of traffic crosses applications (front-end fan-out),
+  exercising the library's extension beyond the paper's 100 %-intracluster
+  assumption.
+
+The scheduler still only sees the topology (weights affect the *traffic*,
+not the paper's objective), yet the mapping it produces keeps each
+service's streams on dedicated switch clusters, which is exactly what the
+heavy services need.
+
+Run:  python examples/video_on_demand.py
+"""
+
+from repro import (
+    CommunicationAwareScheduler,
+    IntraClusterTraffic,
+    LogicalCluster,
+    RoutingTable,
+    SimulationConfig,
+    WormholeNetworkSimulator,
+    Workload,
+    random_irregular_topology,
+)
+from repro.util.reporting import Table
+
+
+def main() -> None:
+    topo = random_irregular_topology(20, seed=11, name="vod-now")
+    workload = Workload([
+        LogicalCluster("vod-news", 16, comm_weight=3.0),
+        LogicalCluster("vod-sports", 16, comm_weight=3.0),
+        LogicalCluster("vod-movies", 24, comm_weight=2.0),
+        LogicalCluster("analytics", 24, comm_weight=0.5),
+    ])
+    print(f"machine: {topo.num_switches} switches / {topo.num_hosts} hosts")
+    print(f"workload: {workload}")
+
+    scheduler = CommunicationAwareScheduler(topo)
+    op = scheduler.schedule(workload, seed=3)
+    rnd = scheduler.random_schedule(workload, seed=30)
+
+    print("\nper-application switch clusters (scheduled):")
+    for app, members in zip(workload.clusters, op.partition.clusters()):
+        print(f"  {app.name:<12} -> switches {members} "
+              f"(weight {app.comm_weight})")
+
+    table = RoutingTable(scheduler.routing)
+    config = SimulationConfig(warmup_cycles=500, measure_cycles=2000, seed=2)
+    base_rate = 0.012  # heavy services inject 3x this via their weight
+
+    report = Table(
+        ["mapping", "C_c", "accepted (flits/sw/cy)", "avg latency (cycles)"],
+        title="\nweighted intracluster traffic, 10% cross-application:",
+    )
+    for name, result in (("scheduled", op), ("random", rnd)):
+        traffic = IntraClusterTraffic(
+            result.mapping, intercluster_fraction=0.10, weighted=True
+        )
+        sim = WormholeNetworkSimulator(table, traffic, base_rate, config)
+        out = sim.run()
+        report.add_row([name, result.c_c,
+                        out.accepted_flits_per_switch_cycle, out.avg_latency])
+    print(report.render())
+    print("\nEven with weighted injection and 10% cross-application traffic, "
+          "the communication-aware\nmapping sustains more stream bandwidth — "
+          "the streams of each VoD service stay on\ntheir own switches "
+          "instead of crossing the network core.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,299 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+- ``topology`` — generate a network (random irregular, four-rings, mesh,
+  torus, hypercube), describe it, optionally save it as JSON;
+- ``schedule`` — run the communication-aware scheduler on a topology
+  (generated or loaded) and print the partition, quality scores and the
+  comparison against random mappings;
+- ``simulate``  — sweep one or more mappings through the wormhole
+  simulator and print latency/throughput tables;
+- ``figures``   — regenerate the paper's Figures 1–6 (text renderings).
+
+Every command is a thin shell over the library; anything it prints can be
+reproduced with a few lines of Python (see examples/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import serialize
+from repro.core.mapping import Workload
+from repro.core.scheduler import CommunicationAwareScheduler
+from repro.routing.tables import RoutingTable
+from repro.simulation.config import SimulationConfig
+from repro.simulation.sweep import make_load_points, run_load_sweep
+from repro.simulation.traffic import IntraClusterTraffic
+from repro.topology.designed import (
+    four_rings_topology,
+    hypercube_topology,
+    mesh_topology,
+    torus_topology,
+)
+from repro.topology.graph import Topology
+from repro.topology.irregular import random_irregular_topology
+from repro.util.reporting import Table
+
+
+def _build_topology(args: argparse.Namespace) -> Topology:
+    if getattr(args, "load", None):
+        obj = serialize.load(args.load)
+        if not isinstance(obj, Topology):
+            raise SystemExit(f"{args.load} does not contain a topology")
+        return obj
+    kind = args.kind
+    if kind == "irregular":
+        return random_irregular_topology(args.switches, seed=args.seed)
+    if kind == "four-rings":
+        return four_rings_topology()
+    if kind == "mesh":
+        side = int(round(args.switches ** 0.5))
+        return mesh_topology(side, side)
+    if kind == "torus":
+        side = int(round(args.switches ** 0.5))
+        return torus_topology(side, side)
+    if kind == "hypercube":
+        dim = max(1, args.switches.bit_length() - 1)
+        return hypercube_topology(dim)
+    raise SystemExit(f"unknown topology kind {kind!r}")
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    """Generate/describe a network; optionally save it as JSON."""
+    topo = _build_topology(args)
+    print(f"name:            {topo.name}")
+    print(f"switches:        {topo.num_switches}")
+    print(f"hosts:           {topo.num_hosts} ({topo.hosts_per_switch}/switch)")
+    print(f"links:           {topo.num_links}")
+    print(f"diameter:        {topo.diameter()}")
+    degs = [topo.degree(s) for s in range(topo.num_switches)]
+    print(f"degree (min/max): {min(degs)}/{max(degs)}")
+    if args.save:
+        serialize.save(topo, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    """Run the communication-aware scheduler and print the partition."""
+    topo = _build_topology(args)
+    if topo.num_switches % args.clusters != 0:
+        raise SystemExit(
+            f"{args.clusters} clusters do not evenly divide "
+            f"{topo.num_switches} switches"
+        )
+    per_cluster = (topo.num_switches // args.clusters) * topo.hosts_per_switch
+    workload = Workload.uniform(args.clusters, per_cluster)
+    scheduler = CommunicationAwareScheduler(topo)
+    result = scheduler.schedule(workload, seed=args.seed)
+
+    print(f"topology: {topo.name} ({topo.num_switches} switches)")
+    print(f"workload: {workload}")
+    print("\nscheduled partition:")
+    for i, members in enumerate(result.partition.clusters()):
+        print(f"  cluster {i}: ({','.join(map(str, members))})")
+    print(f"\nF_G={result.f_g:.4f}  D_G={result.d_g:.4f}  C_c={result.c_c:.4f}")
+
+    t = Table(["mapping", "F_G", "C_c"], title="\nvs random mappings:")
+    t.add_row(["scheduled", result.f_g, result.c_c])
+    for s in range(args.randoms):
+        r = scheduler.random_schedule(workload, seed=1000 + s)
+        t.add_row([f"random-{s}", r.f_g, r.c_c])
+    print(t.render())
+    if args.save:
+        serialize.save(result.partition, args.save)
+        print(f"\npartition saved to {args.save}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Sweep mappings through the wormhole simulator."""
+    topo = _build_topology(args)
+    per_cluster = (topo.num_switches // args.clusters) * topo.hosts_per_switch
+    workload = Workload.uniform(args.clusters, per_cluster)
+    scheduler = CommunicationAwareScheduler(topo)
+    rt = RoutingTable(scheduler.routing)
+    config = SimulationConfig(
+        warmup_cycles=args.warmup, measure_cycles=args.measure, seed=args.seed
+    )
+    rates = make_load_points(args.max_rate, n=args.points)
+
+    mappings = {"scheduled": scheduler.schedule(workload, seed=args.seed)}
+    for s in range(args.randoms):
+        mappings[f"random-{s}"] = scheduler.random_schedule(
+            workload, seed=2000 + s
+        )
+
+    t = Table(
+        ["mapping", "C_c"]
+        + [f"S{i+1} acc" for i in range(len(rates))]
+        + [f"S{i+1} lat" for i in range(len(rates))],
+        title=f"load sweep on {topo.name} "
+              f"(rates {rates[0]:.4f}..{rates[-1]:.4f} msgs/host/cycle):",
+    )
+    for name, res in mappings.items():
+        points = run_load_sweep(rt, IntraClusterTraffic(res.mapping), rates,
+                                config)
+        t.add_row(
+            [name, res.c_c]
+            + [p.result.accepted_flits_per_switch_cycle for p in points]
+            + [p.result.avg_latency for p in points],
+            digits=3,
+        )
+    print(t.render())
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Print the classical structural metrics of a topology."""
+    from repro.topology import metrics as tmetrics
+
+    topo = _build_topology(args)
+    s = tmetrics.summary(topo)
+    print(f"topology:          {topo.name}")
+    print(f"switches / links:  {s['switches']} / {s['links']}")
+    print(f"diameter:          {s['diameter']}")
+    print(f"average distance:  {s['average_distance']:.3f}")
+    deg = s["degree"]
+    print(f"degree:            min {deg['min']:.0f} / mean {deg['mean']:.2f} "
+          f"/ max {deg['max']:.0f}")
+    exact = "exact" if s["bisection_exact"] else "sampled upper bound"
+    print(f"bisection width:   {s['bisection_width']} ({exact})")
+    print(f"edge connectivity: {s['edge_connectivity']}")
+    print(f"path diversity:    {s['path_diversity']:.3f} "
+          "(mean hops/resistance; 1 = tree-like)")
+    return 0
+
+
+def cmd_failures(args: argparse.Namespace) -> int:
+    """Run the single-link failure-injection study."""
+    from repro.core.mapping import Workload
+    from repro.experiments.common import ExperimentSetup
+    from repro.experiments.failures import (
+        render_failure_study,
+        run_failure_study,
+    )
+
+    topo = _build_topology(args)
+    per_cluster = (topo.num_switches // args.clusters) * topo.hosts_per_switch
+    scheduler = CommunicationAwareScheduler(topo)
+    setup = ExperimentSetup(
+        topology=topo,
+        scheduler=scheduler,
+        workload=Workload.uniform(args.clusters, per_cluster),
+        routing_table=RoutingTable(scheduler.routing),
+        seed=args.seed,
+    )
+    links = topo.links[:args.limit] if args.limit else None
+    print(render_failure_study(run_failure_study(setup, links=links)))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate the requested paper figures as text renderings."""
+    from repro.experiments import (
+        render_fig1, render_fig2, render_fig3, render_fig4, render_fig5,
+        render_fig6, run_fig1, run_fig2, run_fig3, run_fig4, run_fig5,
+        run_fig6,
+    )
+
+    config = SimulationConfig(
+        warmup_cycles=args.warmup, measure_cycles=args.measure, seed=7
+    )
+    wanted = set(args.fig) if args.fig else {1, 2, 3, 4, 5, 6}
+    fig3_cache = None
+    if 1 in wanted:
+        print(render_fig1(run_fig1()), "\n")
+    if 2 in wanted:
+        print(render_fig2(run_fig2()), "\n")
+    if 3 in wanted or 6 in wanted:
+        fig3_cache = run_fig3(num_random=args.randoms, config=config)
+    if 3 in wanted:
+        print(render_fig3(fig3_cache), "\n")
+    if 4 in wanted:
+        print(render_fig4(run_fig4()), "\n")
+    if 5 in wanted:
+        print(render_fig5(run_fig5(num_random=3, config=config)), "\n")
+    if 6 in wanted:
+        print(render_fig6(run_fig6(sim_result=fig3_cache)), "\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication-aware task scheduling (Orduña et al., "
+                    "ICPP 2000) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_topology_args(p, with_load=True):
+        p.add_argument("--kind", default="irregular",
+                       choices=["irregular", "four-rings", "mesh", "torus",
+                                "hypercube"])
+        p.add_argument("--switches", type=int, default=16)
+        p.add_argument("--seed", type=int, default=42)
+        if with_load:
+            p.add_argument("--load", help="load a topology JSON instead")
+
+    p = sub.add_parser("topology", help="generate/describe a network")
+    add_topology_args(p)
+    p.add_argument("--save", help="write the topology as JSON")
+    p.set_defaults(func=cmd_topology)
+
+    p = sub.add_parser("schedule", help="run the communication-aware scheduler")
+    add_topology_args(p)
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--randoms", type=int, default=5,
+                   help="random mappings to compare against")
+    p.add_argument("--save", help="write the partition as JSON")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("simulate", help="sweep mappings through the simulator")
+    add_topology_args(p)
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--randoms", type=int, default=2)
+    p.add_argument("--points", type=int, default=5)
+    p.add_argument("--max-rate", type=float, default=0.02)
+    p.add_argument("--warmup", type=int, default=300)
+    p.add_argument("--measure", type=int, default=1200)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("metrics", help="classical topology metrics")
+    add_topology_args(p)
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("failures",
+                       help="single-link failure injection study")
+    add_topology_args(p)
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--limit", type=int, default=0,
+                   help="only the first N links (0 = all)")
+    p.set_defaults(func=cmd_failures)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.add_argument("--fig", type=int, action="append",
+                   choices=[1, 2, 3, 4, 5, 6],
+                   help="figure number (repeatable; default: all)")
+    p.add_argument("--randoms", type=int, default=9)
+    p.add_argument("--warmup", type=int, default=400)
+    p.add_argument("--measure", type=int, default=1500)
+    p.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

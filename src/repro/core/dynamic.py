@@ -1,0 +1,291 @@
+"""Online scheduling: applications arriving at and leaving a shared NOW.
+
+The paper's future work ("the integration of the proposed scheduling
+technique with process scheduling") implies an *online* setting: jobs
+submit and terminate over time, and each arrival must be placed on the
+switches that are currently free.  :class:`DynamicScheduler` implements
+that with the same machinery as the static technique:
+
+- an arriving application of ``q`` switches is placed by minimizing its
+  cluster similarity ``F_{A}`` (eq. 1) **restricted to the free switches**
+  — the same Tabu search run on the free-switch submatrix of the table of
+  equivalent distances;
+- a departing application frees its switches;
+- :meth:`rebalance` re-runs the full static optimization over all resident
+  applications and reports how much placement quality decayed due to
+  online fragmentation (callers decide whether migration is worth it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mapping import LogicalCluster, Partition, Workload
+from repro.core.quality import QualityEvaluator
+from repro.core.scheduler import CommunicationAwareScheduler
+from repro.topology.graph import Topology
+from repro.util.rng import SeedLike
+
+
+@dataclass
+class Placement:
+    """Where one application currently runs."""
+
+    app: LogicalCluster
+    switches: Tuple[int, ...]
+    local_cost: float     # F_A over the chosen switches (raw quadratic sum)
+
+    @property
+    def num_switches(self) -> int:
+        return len(self.switches)
+
+
+class DynamicScheduler:
+    """Incremental placement of applications on a shared machine.
+
+    Parameters
+    ----------
+    topology:
+        The machine; routing/table defaults match
+        :class:`~repro.core.scheduler.CommunicationAwareScheduler`.
+    scheduler:
+        Optional pre-built static scheduler to share its distance table
+        (and whose search :meth:`rebalance` reuses).
+    """
+
+    def __init__(self, topology: Topology, *,
+                 scheduler: Optional[CommunicationAwareScheduler] = None):
+        self.scheduler = scheduler or CommunicationAwareScheduler(topology)
+        if self.scheduler.topology is not topology:
+            raise ValueError("scheduler was built for a different topology")
+        self.topology = topology
+        self._evaluator = QualityEvaluator(self.scheduler.table)
+        self._owner: List[Optional[str]] = [None] * topology.num_switches
+        self._placements: Dict[str, Placement] = {}
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def free_switches(self) -> List[int]:
+        return [s for s, o in enumerate(self._owner) if o is None]
+
+    @property
+    def placements(self) -> Dict[str, Placement]:
+        return dict(self._placements)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of switches currently owned by some application."""
+        busy = sum(1 for o in self._owner if o is not None)
+        return busy / self.topology.num_switches
+
+    def current_partition(self) -> Partition:
+        """The partition induced by the resident applications.
+
+        Cluster indices follow submission order of the *currently resident*
+        applications (sorted by name for determinism).
+        """
+        names = sorted(self._placements)
+        labels = np.full(self.topology.num_switches, -1, dtype=np.int64)
+        for idx, name in enumerate(names):
+            for s in self._placements[name].switches:
+                labels[s] = idx
+        return Partition(labels)
+
+    def scores(self) -> Dict[str, float]:
+        """F_G / D_G / C_c of the current resident partition."""
+        return self.scheduler.evaluate(self.current_partition())
+
+    # ------------------------------------------------------------------ #
+    # arrival / departure
+    # ------------------------------------------------------------------ #
+
+    def switches_needed(self, app: LogicalCluster) -> int:
+        """Whole switches an application occupies (paper assumption)."""
+        hps = self.topology.hosts_per_switch
+        if app.num_processes % hps != 0:
+            raise ValueError(
+                f"application {app.name!r} has {app.num_processes} processes, "
+                f"not a multiple of {hps} hosts/switch"
+            )
+        return app.num_processes // hps
+
+    def submit(self, app: LogicalCluster, seed: SeedLike = None) -> Placement:
+        """Place an arriving application on free switches.
+
+        Raises ``ValueError`` when the name is taken or capacity is
+        insufficient (no preemption — callers queue and retry after a
+        departure).
+        """
+        if app.name in self._placements:
+            raise ValueError(f"application {app.name!r} is already resident")
+        q = self.switches_needed(app)
+        free = self.free_switches
+        if q > len(free):
+            raise ValueError(
+                f"application {app.name!r} needs {q} switches, only "
+                f"{len(free)} free"
+            )
+        chosen = self._choose(free, q, seed)
+        for s in chosen:
+            self._owner[s] = app.name
+        placement = Placement(
+            app=app,
+            switches=tuple(sorted(chosen)),
+            local_cost=self._local_cost(chosen),
+        )
+        self._placements[app.name] = placement
+        return placement
+
+    def remove(self, name: str) -> Placement:
+        """Release a departing application's switches."""
+        placement = self._placements.pop(name, None)
+        if placement is None:
+            raise KeyError(f"no resident application named {name!r}")
+        for s in placement.switches:
+            self._owner[s] = None
+        return placement
+
+    # ------------------------------------------------------------------ #
+    # global re-optimization
+    # ------------------------------------------------------------------ #
+
+    def rebalance(self, seed: SeedLike = None) -> Dict[str, object]:
+        """Re-run the static technique over all resident applications.
+
+        Returns the incumbent and re-optimized ``F_G`` plus the migrated
+        partition; does **not** apply it (migration costs are outside this
+        model — the caller decides).
+        """
+        if len(self._placements) < 1:
+            raise ValueError("nothing to rebalance: no resident applications")
+        names = sorted(self._placements)
+        workload = Workload([self._placements[n].app for n in names])
+        current = self.current_partition()
+        incumbent = self.scheduler.evaluate(current)["F_G"]
+        result = self.scheduler.schedule(workload, seed=seed, initial=current)
+        return {
+            "incumbent_f_g": incumbent,
+            "optimized_f_g": result.f_g,
+            "improvement": incumbent - result.f_g,
+            "partition": result.partition,
+        }
+
+    def apply_rebalance(self, partition: Partition) -> None:
+        """Adopt a rebalanced partition (cluster order = sorted names)."""
+        names = sorted(self._placements)
+        clusters = partition.clusters()
+        if len(clusters) != len(names):
+            raise ValueError(
+                f"partition has {len(clusters)} clusters, {len(names)} "
+                "applications are resident"
+            )
+        for name, members in zip(names, clusters):
+            if len(members) != self._placements[name].num_switches:
+                raise ValueError(
+                    f"cluster size mismatch for {name!r}: "
+                    f"{len(members)} vs {self._placements[name].num_switches}"
+                )
+        self._owner = [None] * self.topology.num_switches
+        for name, members in zip(names, clusters):
+            for s in members:
+                self._owner[s] = name
+            old = self._placements[name]
+            self._placements[name] = Placement(
+                app=old.app,
+                switches=tuple(sorted(members)),
+                local_cost=self._local_cost(members),
+            )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _local_cost(self, switches: Sequence[int]) -> float:
+        idx = np.asarray(sorted(switches), dtype=int)
+        if idx.size < 2:
+            return 0.0
+        sq = self._evaluator.sq
+        return float(sq[np.ix_(idx, idx)].sum() / 2.0)
+
+    def _choose(self, free: List[int], q: int, seed: SeedLike) -> List[int]:
+        """Pick ``q`` of the free switches minimizing the local F_A."""
+        if q == len(free):
+            return list(free)
+        if q == 1:
+            # No intracluster pairs to optimize; prefer the free switch
+            # farthest (in total squared distance) from the busy ones so
+            # compact regions stay available for larger arrivals.
+            sq = self._evaluator.sq
+            busy = [s for s, o in enumerate(self._owner) if o is not None]
+            if not busy:
+                return [free[0]]
+            scores = [(float(sq[np.ix_([s], busy)].sum()), s) for s in free]
+            return [max(scores)[1]]
+        # Subset selection: choose q of the free switches minimizing the
+        # quadratic pairwise cost.  Greedy growth from every seed switch
+        # plus steepest-descent in/out swaps — the single-cluster analogue
+        # of the paper's swap neighbourhood (there is no second cluster to
+        # trade with, so the swap partner is the free pool itself).
+        from repro.util.rng import as_rng
+
+        rng = as_rng(seed)
+        sq = self._evaluator.sq[np.ix_(free, free)]
+        f = len(free)
+
+        def grow(seed_idx: int) -> List[int]:
+            chosen = [seed_idx]
+            load = sq[:, seed_idx].copy()  # cost of adding each candidate
+            for _ in range(q - 1):
+                best, best_cost = -1, float("inf")
+                for c in range(f):
+                    if c in chosen:
+                        continue
+                    if load[c] < best_cost:
+                        best, best_cost = c, load[c]
+                chosen.append(best)
+                load += sq[:, best]
+            return chosen
+
+        def improve(chosen: List[int]) -> Tuple[List[int], float]:
+            chosen = list(chosen)
+            inside = set(chosen)
+            load = sq[:, chosen].sum(axis=1)
+            cost = float(sum(load[c] for c in chosen)) / 2.0
+            improved = True
+            while improved:
+                improved = False
+                for out in list(chosen):
+                    for cand in range(f):
+                        if cand in inside:
+                            continue
+                        delta = (load[cand] - sq[cand, out]) - load[out]
+                        if delta < -1e-12:
+                            inside.remove(out)
+                            inside.add(cand)
+                            chosen[chosen.index(out)] = cand
+                            load += sq[:, cand] - sq[:, out]
+                            cost += delta
+                            improved = True
+                            break
+                    if improved:
+                        break
+            return chosen, cost
+
+        best_set, best_cost = None, float("inf")
+        seeds = list(range(f))
+        rng.shuffle(seeds)
+        for s in seeds[:max(4, min(f, 8))]:
+            chosen, cost = improve(grow(s))
+            if cost < best_cost:
+                best_set, best_cost = chosen, cost
+        assert best_set is not None
+        return [free[i] for i in best_set]
+
+
+__all__ = ["DynamicScheduler", "Placement"]

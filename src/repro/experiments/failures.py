@@ -1,0 +1,135 @@
+"""Link-failure study: robustness of mappings and routing reconfiguration.
+
+Autonet — the system whose up*/down* routing the paper adopts — was built
+around automatic reconfiguration after link failures.  This study asks the
+scheduling-layer version of that question:
+
+for each single link failure,
+
+1. does up*/down* routing reconnect the network (it must, whenever the
+   failed topology is still connected);
+2. how much does the *old* OP mapping degrade under the new table of
+   equivalent distances (``C_c`` before repair);
+3. how much does re-running the scheduling technique on the degraded
+   network recover (``C_c`` after repair)?
+
+This is an extension (the paper does not study failures); the benchmark
+treats it as an ablation of mapping robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.scheduler import CommunicationAwareScheduler
+from repro.experiments.common import ExperimentSetup
+from repro.routing.updown import UpDownRouting
+from repro.topology.graph import Link
+from repro.util.reporting import Table
+
+
+@dataclass
+class FailureRow:
+    """Outcome of one injected link failure."""
+
+    link: Link
+    still_connected: bool
+    c_c_before_failure: float
+    c_c_degraded: Optional[float]      # old mapping, new distances
+    c_c_rescheduled: Optional[float]   # new mapping, new distances
+
+    @property
+    def recovery(self) -> Optional[float]:
+        if self.c_c_degraded is None or self.c_c_rescheduled is None:
+            return None
+        return self.c_c_rescheduled - self.c_c_degraded
+
+
+@dataclass
+class FailureStudyResult:
+    rows: List[FailureRow]
+
+    @property
+    def survivable(self) -> List[FailureRow]:
+        return [r for r in self.rows if r.still_connected]
+
+    def all_survivable_rescheduled_ok(self) -> bool:
+        """Rescheduling never ends below the degraded mapping."""
+        return all(
+            r.c_c_rescheduled >= r.c_c_degraded - 1e-9
+            for r in self.survivable
+        )
+
+
+def run_failure_study(
+    setup: ExperimentSetup,
+    *,
+    links: Optional[Sequence[Link]] = None,
+    seed: int = 1,
+) -> FailureStudyResult:
+    """Inject single-link failures and measure mapping degradation/recovery.
+
+    ``links`` defaults to every link of the topology (24 cases for the
+    paper's 16-switch network).
+    """
+    baseline = setup.scheduler.schedule(setup.workload, seed=seed)
+    targets = list(links) if links is not None else list(setup.topology.links)
+    rows: List[FailureRow] = []
+    for link in targets:
+        failed = setup.topology.without_link(*link)
+        if not failed.is_connected():
+            rows.append(FailureRow(
+                link=link,
+                still_connected=False,
+                c_c_before_failure=baseline.c_c,
+                c_c_degraded=None,
+                c_c_rescheduled=None,
+            ))
+            continue
+        sched = CommunicationAwareScheduler(failed,
+                                            routing=UpDownRouting(failed))
+        degraded = sched.evaluate(baseline.partition)["C_c"]
+        rescheduled = sched.schedule(setup.workload, seed=seed,
+                                     initial=baseline.partition)
+        rows.append(FailureRow(
+            link=link,
+            still_connected=True,
+            c_c_before_failure=baseline.c_c,
+            c_c_degraded=degraded,
+            c_c_rescheduled=rescheduled.c_c,
+        ))
+    return FailureStudyResult(rows)
+
+
+def render_failure_study(res: FailureStudyResult) -> str:
+    """Text table of per-failure degradation and recovery."""
+    t = Table(
+        ["failed link", "connected", "C_c healthy", "C_c degraded",
+         "C_c rescheduled", "recovery"],
+        title="failure injection - single link failures",
+    )
+    for r in res.rows:
+        t.add_row([
+            f"{r.link[0]}-{r.link[1]}",
+            "yes" if r.still_connected else "NO",
+            r.c_c_before_failure,
+            r.c_c_degraded,
+            r.c_c_rescheduled,
+            r.recovery,
+        ], digits=3)
+    surv = res.survivable
+    summary = (
+        f"\nsurvivable failures: {len(surv)}/{len(res.rows)}; "
+        f"rescheduling recovered quality on "
+        f"{sum(1 for r in surv if (r.recovery or 0) > 1e-9)} of them"
+    )
+    return t.render() + summary
+
+
+__all__ = [
+    "FailureRow",
+    "FailureStudyResult",
+    "run_failure_study",
+    "render_failure_study",
+]

@@ -1,0 +1,45 @@
+"""Figure 4: the partition of the specially designed 24-switch network.
+
+The network is four interconnected rings of six switches; the paper
+reports that the scheduling technique "was able to identify the mentioned
+topology", i.e. the found 4×6 partition coincides with the rings.  Our
+designed network places ring ``r`` on switches ``6r .. 6r+5``, so the
+expected clusters are exactly those blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentSetup, paper_24switch_setup
+from repro.experiments.fig2_partition16 import PartitionResult, render_partition
+
+
+def expected_ring_clusters(ring_size: int = 6, rings: int = 4):
+    """The designed clusters: one per ring."""
+    return [tuple(range(r * ring_size, (r + 1) * ring_size)) for r in range(rings)]
+
+
+def run_fig4(setup: Optional[ExperimentSetup] = None,
+             seed: int = 1) -> PartitionResult:
+    """Schedule the designed 24-switch network and check ring recovery."""
+    setup = setup or paper_24switch_setup()
+    res = setup.scheduler.schedule(setup.workload, seed=seed)
+    return PartitionResult(
+        topology_name=setup.topology.name,
+        partition=res.partition,
+        f_g=res.f_g,
+        d_g=res.d_g,
+        c_c=res.c_c,
+        expected_clusters=expected_ring_clusters(),
+    )
+
+
+def render_fig4(res: PartitionResult) -> str:
+    """Figure 4 as a text table."""
+    return render_partition(
+        res, "Figure 4 - 4-cluster partition, designed 24-switch network"
+    )
+
+
+__all__ = ["run_fig4", "render_fig4", "expected_ring_clusters"]

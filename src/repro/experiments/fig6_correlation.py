@@ -1,0 +1,112 @@
+"""Figure 6: correlation of the clustering coefficient with performance.
+
+For each load point S1…S9 of the Figure 3 experiment, the Pearson
+correlation across mappings between ``C_c`` and network performance.  The
+paper reports ≈85 % at low load (S1–S4), ≈75 % in deep saturation
+(S7–S9), and an insignificant value at S5–S6 where mappings straddle their
+saturation points.
+
+"Performance" needs a per-point scalar.  At low load every mapping accepts
+all offered traffic, so accepted traffic carries no signal there — latency
+does; in saturation the roles reverse.  We therefore report correlations
+against both *negative average latency* and *accepted traffic*, plus a
+combined measure (accepted / latency, a network power metric) that is
+meaningful across the whole ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.common import ExperimentSetup
+from repro.experiments.fig3_sim16 import SimFigureResult, run_fig3
+from repro.simulation.config import SimulationConfig
+from repro.util.asciiplot import bar_chart
+from repro.util.reporting import Table
+from repro.util.stats import pearson
+
+
+@dataclass
+class Fig6Result:
+    """Per-load-point correlations of C_c with performance."""
+
+    labels: List[str]                       # "S1" ... "S9"
+    c_c: List[float]                        # per mapping, order as sweeps
+    mapping_names: List[str]
+    corr_neg_latency: List[float]
+    corr_accepted: List[float]
+    corr_power: List[float]                 # accepted / latency
+
+    def low_load_power_corr(self, points: int = 4) -> float:
+        """Mean power-metric correlation over the first ``points`` loads."""
+        vals = [v for v in self.corr_power[:points] if v == v]
+        return sum(vals) / len(vals) if vals else float("nan")
+
+    def saturation_power_corr(self, points: int = 3) -> float:
+        """Mean power-metric correlation over the last ``points`` loads."""
+        vals = [v for v in self.corr_power[-points:] if v == v]
+        return sum(vals) / len(vals) if vals else float("nan")
+
+
+def correlations_from_sim(res: SimFigureResult) -> Fig6Result:
+    """Compute the Figure 6 correlations from a Figure 3/5 sweep result."""
+    names = [m.name for m in res.mappings]
+    c_c = [m.c_c for m in res.mappings]
+    n_points = len(res.rates)
+    corr_lat, corr_acc, corr_pow = [], [], []
+    for k in range(n_points):
+        lat = [res.sweeps[n][k].result.avg_latency for n in names]
+        acc = [res.sweeps[n][k].result.accepted_flits_per_switch_cycle
+               for n in names]
+        power = [a / l if l > 0 else float("nan") for a, l in zip(acc, lat)]
+        corr_lat.append(pearson(c_c, [-x for x in lat]))
+        corr_acc.append(pearson(c_c, acc))
+        corr_pow.append(pearson(c_c, power))
+    return Fig6Result(
+        labels=[f"S{i + 1}" for i in range(n_points)],
+        c_c=c_c,
+        mapping_names=names,
+        corr_neg_latency=corr_lat,
+        corr_accepted=corr_acc,
+        corr_power=corr_pow,
+    )
+
+
+def run_fig6(
+    setup: Optional[ExperimentSetup] = None,
+    *,
+    num_random: int = 9,
+    config: Optional[SimulationConfig] = None,
+    sim_result: Optional[SimFigureResult] = None,
+) -> Fig6Result:
+    """Figure 6 from a fresh (or provided) Figure 3 sweep."""
+    if sim_result is None:
+        sim_result = run_fig3(setup, num_random=num_random, config=config)
+    return correlations_from_sim(sim_result)
+
+
+def render_fig6(res: Fig6Result) -> str:
+    """Figure 6 as a correlation table plus bar chart."""
+    t = Table(
+        ["point", "corr(C_c, -latency)", "corr(C_c, accepted)",
+         "corr(C_c, accepted/latency)"],
+        title="Figure 6 - correlation of C_c with network performance",
+    )
+    for i, label in enumerate(res.labels):
+        t.add_row([label, res.corr_neg_latency[i], res.corr_accepted[i],
+                   res.corr_power[i]], digits=3)
+    chart = bar_chart(
+        dict(zip(res.labels, res.corr_power)),
+        width=44, lo=0.0, hi=1.0,
+        title="corr(C_c, accepted/latency) per load point:",
+    )
+    return (
+        t.render()
+        + "\n\n" + chart
+        + f"\n\nlow-load mean (S1-S4):   {res.low_load_power_corr():.3f}"
+        + f"\nsaturation mean (S7-S9): {res.saturation_power_corr():.3f}"
+    )
+
+
+__all__ = ["Fig6Result", "correlations_from_sim", "run_fig6", "render_fig6"]

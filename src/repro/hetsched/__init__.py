@@ -1,0 +1,56 @@
+"""Computation-aware scheduling baselines and the integrated strategy.
+
+The paper situates its contribution among the classical heterogeneous-
+computing mapping heuristics (OLB, UDA/MET, Fast Greedy/MCT, Min-min,
+Max-min — its references [1, 12, 16]) and sketches, in its introduction,
+an *ideal* scheduler that "would choose either a computation-aware or a
+communication-aware task scheduling strategy depending on the kind of
+requirements that leads to the system performance bottleneck".
+
+This package supplies that computational side:
+
+- :mod:`~repro.hetsched.workload` — expected-time-to-compute (ETC) matrix
+  generation in the Braun et al. style (task/machine heterogeneity,
+  consistent / semiconsistent / inconsistent);
+- :mod:`~repro.hetsched.heuristics` — OLB, MET (a.k.a. UDA), MCT (a.k.a.
+  Fast Greedy), Min-min, Max-min and Duplex;
+- :mod:`~repro.hetsched.evaluate` — makespan / flowtime / utilization;
+- :mod:`~repro.hetsched.integrated` — the bottleneck-driven strategy
+  selector combining these heuristics with the communication-aware
+  technique of :mod:`repro.core`.
+"""
+
+from repro.hetsched.workload import generate_etc, EtcConsistency
+from repro.hetsched.heuristics import (
+    MappingHeuristic,
+    MachineSchedule,
+    OLB,
+    MET,
+    MCT,
+    MinMin,
+    MaxMin,
+    Duplex,
+    HEURISTICS,
+)
+from repro.hetsched.evaluate import makespan, flowtime, machine_loads, utilization
+from repro.hetsched.integrated import IntegratedScheduler, BottleneckEstimate
+
+__all__ = [
+    "generate_etc",
+    "EtcConsistency",
+    "MappingHeuristic",
+    "MachineSchedule",
+    "OLB",
+    "MET",
+    "MCT",
+    "MinMin",
+    "MaxMin",
+    "Duplex",
+    "HEURISTICS",
+    "makespan",
+    "flowtime",
+    "machine_loads",
+    "utilization",
+    "IntegratedScheduler",
+    "BottleneckEstimate",
+]

@@ -1,0 +1,49 @@
+"""Metrics over machine schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hetsched.heuristics import MachineSchedule
+
+
+def makespan(schedule: MachineSchedule) -> float:
+    """Completion time of the last machine to finish."""
+    return schedule.makespan
+
+
+def machine_loads(schedule: MachineSchedule, etc: np.ndarray) -> np.ndarray:
+    """Busy time per machine implied by the assignment."""
+    etc = np.asarray(etc, dtype=float)
+    loads = np.zeros(etc.shape[1])
+    for task, machine in enumerate(schedule.assignment):
+        loads[machine] += etc[task, machine]
+    return loads
+
+
+def flowtime(schedule: MachineSchedule, etc: np.ndarray) -> float:
+    """Sum of task completion times with FIFO per-machine execution.
+
+    Tasks run on each machine in ascending task-id order (the order the
+    list heuristics assigned them).
+    """
+    etc = np.asarray(etc, dtype=float)
+    clock = np.zeros(etc.shape[1])
+    total = 0.0
+    for task in range(etc.shape[0]):
+        machine = int(schedule.assignment[task])
+        clock[machine] += etc[task, machine]
+        total += clock[machine]
+    return total
+
+
+def utilization(schedule: MachineSchedule, etc: np.ndarray) -> float:
+    """Mean machine busy fraction over the makespan (1 = perfectly level)."""
+    loads = machine_loads(schedule, etc)
+    ms = schedule.makespan
+    if ms <= 0:
+        raise ValueError("makespan must be positive")
+    return float(loads.mean() / ms)
+
+
+__all__ = ["makespan", "machine_loads", "flowtime", "utilization"]

@@ -1,0 +1,203 @@
+"""Classical mapping heuristics for meta-tasks on heterogeneous machines.
+
+The computation-aware baselines referenced by the paper (its [1, 12, 16]):
+
+- **OLB** (Opportunistic Load Balancing): next task → machine that becomes
+  idle soonest, ignoring execution times.
+- **MET** (Minimum Execution Time; the paper's "UDA", User-Directed
+  Assignment): next task → machine with the smallest ETC for it, ignoring
+  current load.
+- **MCT** (Minimum Completion Time; Armstrong's "Fast Greedy"): next task →
+  machine with the earliest completion time for it.
+- **Min-min**: repeatedly schedule the task whose best completion time is
+  smallest, on that machine.
+- **Max-min**: like Min-min, but pick the task whose best completion time
+  is *largest* (front-loads the big tasks).
+- **Duplex**: run Min-min and Max-min, keep the better makespan.
+
+All operate on an ETC matrix (see :mod:`repro.hetsched.workload`) and
+produce a :class:`MachineSchedule`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.util.rng import SeedLike
+
+
+@dataclass
+class MachineSchedule:
+    """The outcome of mapping a meta-task onto machines.
+
+    ``assignment[t]`` is the machine of task ``t``; ``ready[m]`` the time
+    machine ``m`` finishes its queue (so ``makespan = ready.max()``).
+    """
+
+    assignment: np.ndarray
+    ready: np.ndarray
+    method: str
+
+    @property
+    def makespan(self) -> float:
+        return float(self.ready.max())
+
+    def tasks_of(self, machine: int) -> np.ndarray:
+        """Task ids assigned to ``machine``."""
+        return np.nonzero(self.assignment == machine)[0]
+
+    def validate(self, etc: np.ndarray) -> None:
+        """Recompute machine ready times from the assignment and compare."""
+        t, m = etc.shape
+        if self.assignment.shape != (t,):
+            raise ValueError("assignment length does not match ETC tasks")
+        if (self.assignment < 0).any() or (self.assignment >= m).any():
+            raise ValueError("assignment references unknown machines")
+        recomputed = np.zeros(m)
+        for task in range(t):
+            recomputed[self.assignment[task]] += etc[task, self.assignment[task]]
+        if not np.allclose(recomputed, self.ready, rtol=1e-9, atol=1e-9):
+            raise ValueError("ready times inconsistent with assignment")
+
+
+class MappingHeuristic(ABC):
+    """Maps every task of an ETC matrix onto a machine."""
+
+    name: str = "heuristic"
+
+    @abstractmethod
+    def schedule(self, etc: np.ndarray, seed: SeedLike = None) -> MachineSchedule:
+        """Produce a full assignment.  ``seed`` only matters for heuristics
+        that break ties randomly or shuffle task arrival order."""
+
+    @staticmethod
+    def _check(etc: np.ndarray) -> np.ndarray:
+        a = np.asarray(etc, dtype=float)
+        if a.ndim != 2 or a.size == 0:
+            raise ValueError(f"ETC must be a non-empty 2-D matrix, got {a.shape}")
+        if (a <= 0).any():
+            raise ValueError("ETC entries must be strictly positive")
+        return a
+
+
+class OLB(MappingHeuristic):
+    """Opportunistic Load Balancing: earliest-idle machine, ETC ignored."""
+
+    name = "olb"
+
+    def schedule(self, etc: np.ndarray, seed: SeedLike = None) -> MachineSchedule:
+        etc = self._check(etc)
+        t, m = etc.shape
+        ready = np.zeros(m)
+        assignment = np.empty(t, dtype=np.int64)
+        for task in range(t):
+            machine = int(np.argmin(ready))
+            assignment[task] = machine
+            ready[machine] += etc[task, machine]
+        return MachineSchedule(assignment, ready, self.name)
+
+
+class MET(MappingHeuristic):
+    """Minimum Execution Time (UDA): per-task best machine, load ignored."""
+
+    name = "met"
+
+    def schedule(self, etc: np.ndarray, seed: SeedLike = None) -> MachineSchedule:
+        etc = self._check(etc)
+        t, m = etc.shape
+        ready = np.zeros(m)
+        assignment = np.argmin(etc, axis=1).astype(np.int64)
+        for task in range(t):
+            ready[assignment[task]] += etc[task, assignment[task]]
+        return MachineSchedule(assignment, ready, self.name)
+
+
+class MCT(MappingHeuristic):
+    """Minimum Completion Time (Fast Greedy): arrival order, best finish."""
+
+    name = "mct"
+
+    def schedule(self, etc: np.ndarray, seed: SeedLike = None) -> MachineSchedule:
+        etc = self._check(etc)
+        t, m = etc.shape
+        ready = np.zeros(m)
+        assignment = np.empty(t, dtype=np.int64)
+        for task in range(t):
+            completion = ready + etc[task]
+            machine = int(np.argmin(completion))
+            assignment[task] = machine
+            ready[machine] = completion[machine]
+        return MachineSchedule(assignment, ready, self.name)
+
+
+class _MinMaxBase(MappingHeuristic):
+    """Shared machinery of Min-min and Max-min."""
+
+    pick_max = False
+
+    def schedule(self, etc: np.ndarray, seed: SeedLike = None) -> MachineSchedule:
+        etc = self._check(etc)
+        t, m = etc.shape
+        ready = np.zeros(m)
+        assignment = np.full(t, -1, dtype=np.int64)
+        unscheduled = list(range(t))
+        while unscheduled:
+            # Best completion time and machine per unscheduled task.
+            sub = etc[unscheduled] + ready[None, :]
+            best_machines = np.argmin(sub, axis=1)
+            best_times = sub[np.arange(len(unscheduled)), best_machines]
+            idx = int(np.argmax(best_times) if self.pick_max
+                      else np.argmin(best_times))
+            task = unscheduled.pop(idx)
+            machine = int(best_machines[idx])
+            assignment[task] = machine
+            ready[machine] = float(best_times[idx])
+        return MachineSchedule(assignment, ready, self.name)
+
+
+class MinMin(_MinMaxBase):
+    """Min-min: smallest best-completion-time task first."""
+
+    name = "minmin"
+    pick_max = False
+
+
+class MaxMin(_MinMaxBase):
+    """Max-min: largest best-completion-time task first."""
+
+    name = "maxmin"
+    pick_max = True
+
+
+class Duplex(MappingHeuristic):
+    """Best of Min-min and Max-min by makespan."""
+
+    name = "duplex"
+
+    def schedule(self, etc: np.ndarray, seed: SeedLike = None) -> MachineSchedule:
+        a = MinMin().schedule(etc, seed)
+        b = MaxMin().schedule(etc, seed)
+        winner = a if a.makespan <= b.makespan else b
+        return MachineSchedule(winner.assignment, winner.ready, self.name)
+
+
+HEURISTICS: Dict[str, MappingHeuristic] = {
+    h.name: h for h in (OLB(), MET(), MCT(), MinMin(), MaxMin(), Duplex())
+}
+
+
+__all__ = [
+    "MachineSchedule",
+    "MappingHeuristic",
+    "OLB",
+    "MET",
+    "MCT",
+    "MinMin",
+    "MaxMin",
+    "Duplex",
+    "HEURISTICS",
+]

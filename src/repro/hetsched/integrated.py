@@ -1,0 +1,175 @@
+"""The integrated computation/communication strategy selector.
+
+Section 1 of the paper: "The scheduler would choose either a
+computation-aware or a communication-aware task scheduling strategy
+depending on the kind of requirements that leads to the system performance
+bottleneck."  The paper defers this integration to future work; this
+module implements a transparent version of it so the two halves of the
+library compose:
+
+1. estimate the *communication pressure*: the flit load the workload would
+   offer per switch, against a capacity proxy derived from the topology
+   (links per switch × their bandwidth, discounted by the mean routed
+   distance — every hop consumes one link-cycle per flit);
+2. estimate the *computation pressure*: mean machine utilization a
+   load-balancing heuristic would reach on the ETC matrix;
+3. pick the communication-aware mapping (Tabu over the distance table)
+   when communication pressure dominates, the computational heuristic's
+   placement otherwise.
+
+The decision rule is deliberately simple and fully inspectable via
+:class:`BottleneckEstimate`; it is an *extension*, and the benchmarks
+treat it as an ablation rather than a paper claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mapping import Workload
+from repro.core.scheduler import CommunicationAwareScheduler, ScheduleResult
+from repro.hetsched.heuristics import MappingHeuristic, MinMin
+from repro.topology.graph import Topology
+from repro.util.rng import SeedLike
+
+
+@dataclass
+class BottleneckEstimate:
+    """Inputs and verdict of the strategy choice."""
+
+    comm_offered_flits_per_switch: float
+    comm_capacity_flits_per_switch: float
+    comp_utilization: float
+    comm_pressure: float     # offered / capacity
+    comp_pressure: float     # utilization (0..1+, >1 impossible, ~1 = bound)
+    bottleneck: str          # "communication" or "computation"
+
+    def summary(self) -> str:
+        """One-line rendering of both pressures and the verdict."""
+        return (
+            f"comm {self.comm_offered_flits_per_switch:.3f}/"
+            f"{self.comm_capacity_flits_per_switch:.3f} flits/sw/cycle "
+            f"(pressure {self.comm_pressure:.2f}) vs comp utilization "
+            f"{self.comp_utilization:.2f} -> {self.bottleneck}"
+        )
+
+
+class IntegratedScheduler:
+    """Choose computation- or communication-aware mapping per workload.
+
+    Parameters
+    ----------
+    topology:
+        The machine.
+    comm_scheduler:
+        Communication-aware side (defaults to the paper's Tabu pipeline).
+    comp_heuristic:
+        Computation-aware side (defaults to Min-min).
+    threshold:
+        Communication wins when ``comm_pressure > threshold * comp_pressure``.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        comm_scheduler: Optional[CommunicationAwareScheduler] = None,
+        comp_heuristic: Optional[MappingHeuristic] = None,
+        threshold: float = 1.0,
+    ):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        self.topology = topology
+        self.comm_scheduler = comm_scheduler or CommunicationAwareScheduler(topology)
+        self.comp_heuristic = comp_heuristic or MinMin()
+        self.threshold = threshold
+
+    # ------------------------------------------------------------------ #
+
+    def estimate_bottleneck(
+        self,
+        workload: Workload,
+        etc: np.ndarray,
+        flits_per_process_cycle: float,
+    ) -> BottleneckEstimate:
+        """Score both pressures for a workload.
+
+        ``flits_per_process_cycle`` is the measured/estimated injection
+        bandwidth demand of one process (the paper's future-work
+        "measurement of the communication requirements").
+        """
+        if flits_per_process_cycle < 0:
+            raise ValueError("flits_per_process_cycle must be >= 0")
+        topo = self.topology
+        n_proc = workload.total_processes
+        offered = n_proc * flits_per_process_cycle / topo.num_switches
+
+        # Capacity proxy: each switch contributes `degree` unidirectional
+        # link-cycles per cycle in each direction; a flit travelling d hops
+        # consumes d of them, so deliverable flits/switch/cycle is bounded
+        # by links_per_switch / mean_distance.  Use the routed distances.
+        dist = self.comm_scheduler.routing.distances().astype(float)
+        n = topo.num_switches
+        mean_dist = float(
+            (dist.sum() - np.trace(dist)) / max(1, n * (n - 1))
+        )
+        links_per_switch = 2.0 * topo.num_links / topo.num_switches
+        capacity = links_per_switch / max(mean_dist, 1e-9)
+
+        comm_pressure = offered / max(capacity, 1e-12)
+
+        schedule = self.comp_heuristic.schedule(np.asarray(etc, dtype=float))
+        loads = np.zeros(np.asarray(etc).shape[1])
+        for task, machine in enumerate(schedule.assignment):
+            loads[machine] += etc[task, machine]
+        comp_pressure = float(loads.mean() / max(schedule.makespan, 1e-12))
+
+        bottleneck = (
+            "communication"
+            if comm_pressure > self.threshold * comp_pressure
+            else "computation"
+        )
+        return BottleneckEstimate(
+            comm_offered_flits_per_switch=offered,
+            comm_capacity_flits_per_switch=capacity,
+            comp_utilization=comp_pressure,
+            comm_pressure=comm_pressure,
+            comp_pressure=comp_pressure,
+            bottleneck=bottleneck,
+        )
+
+    def schedule(
+        self,
+        workload: Workload,
+        etc: np.ndarray,
+        flits_per_process_cycle: float,
+        seed: SeedLike = None,
+    ) -> "IntegratedResult":
+        """Pick a strategy and produce the chosen mapping."""
+        estimate = self.estimate_bottleneck(workload, etc, flits_per_process_cycle)
+        if estimate.bottleneck == "communication":
+            result = self.comm_scheduler.schedule(workload, seed=seed)
+            return IntegratedResult(estimate, comm_result=result)
+        machine_schedule = self.comp_heuristic.schedule(
+            np.asarray(etc, dtype=float), seed
+        )
+        return IntegratedResult(estimate, comp_result=machine_schedule)
+
+
+@dataclass
+class IntegratedResult:
+    """Outcome of the integrated decision (exactly one side is set)."""
+
+    estimate: BottleneckEstimate
+    comm_result: Optional[ScheduleResult] = None
+    comp_result: Optional[object] = None
+
+    @property
+    def strategy(self) -> str:
+        return "communication" if self.comm_result is not None else "computation"
+
+
+__all__ = ["IntegratedScheduler", "IntegratedResult", "BottleneckEstimate"]

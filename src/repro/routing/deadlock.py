@@ -1,0 +1,87 @@
+"""Channel-dependency-graph deadlock analysis (Dally & Seitz / Duato).
+
+For wormhole switching without virtual channels, a routing function is
+deadlock-free if its channel dependency graph (CDG) is acyclic: nodes are
+directed channels ``u → v``; an edge ``(u→v) → (v→w)`` exists when some
+packet may hold ``u→v`` while requesting ``v→w``.
+
+Up*/down* routing is deadlock-free by construction (a down traversal can
+never be followed by an up traversal, and up-only / down-only subgraphs are
+DAGs ordered by (level, id)); the test-suite verifies this property on the
+actual tables.  Minimal routing on cyclic topologies generally is *not*
+deadlock-free — the rings used in tests demonstrate the cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.routing.base import Phase, RoutingAlgorithm
+
+Channel = Tuple[int, int]  # directed link u -> v
+
+
+def channel_dependency_graph(routing: RoutingAlgorithm) -> Dict[Channel, Set[Channel]]:
+    """Build the CDG induced by the routing function over all destinations.
+
+    An edge is recorded whenever, for some destination, a packet can arrive
+    at ``v`` over channel ``(u, v)`` in phase ``p`` and legally continue on
+    ``(v, w)``.  The arrival phase is taken from the hop tuple the routing
+    function itself returns, so this analyzes exactly the paths the
+    simulator would use.
+    """
+    topo = routing.topology
+    n = topo.num_switches
+    deps: Dict[Channel, Set[Channel]] = {}
+    for u, v in topo.links:
+        deps[(u, v)] = set()
+        deps[(v, u)] = set()
+    for dst in range(n):
+        for src in range(n):
+            if src == dst:
+                continue
+            # Walk breadth-first over (switch, phase) states actually
+            # reachable when routing src -> dst.
+            seen: Set[Tuple[int, Phase]] = set()
+            frontier: List[Tuple[int, Phase]] = [(src, routing.initial_phase())]
+            while frontier:
+                nxt: List[Tuple[int, Phase]] = []
+                for s, p in frontier:
+                    if (s, p) in seen:
+                        continue
+                    seen.add((s, p))
+                    for v1, p1 in routing.next_hops(s, p, dst):
+                        for v2, _p2 in routing.next_hops(v1, p1, dst):
+                            deps[(s, v1)].add((v1, v2))
+                        if (v1, p1) not in seen:
+                            nxt.append((v1, p1))
+                frontier = nxt
+    return deps
+
+
+def is_deadlock_free(routing: RoutingAlgorithm) -> bool:
+    """True when the routing function's CDG is acyclic."""
+    deps = channel_dependency_graph(routing)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Channel, int] = {c: WHITE for c in deps}
+    for start in deps:
+        if color[start] != WHITE:
+            continue
+        stack: List[Tuple[Channel, List[Channel]]] = [(start, list(deps[start]))]
+        color[start] = GRAY
+        while stack:
+            node, todo = stack[-1]
+            if todo:
+                child = todo.pop()
+                if color[child] == GRAY:
+                    return False
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, list(deps[child])))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return True
+
+
+__all__ = ["Channel", "channel_dependency_graph", "is_deadlock_free"]

@@ -1,0 +1,49 @@
+"""Precomputed routing tables for the simulator.
+
+The flit-level simulator consults the routing function on every header
+arbitration; going through the full BFS machinery there would dominate the
+run time.  :class:`RoutingTable` flattens a routing algorithm into dense
+per-destination lookup lists:
+
+``table.hops(current, phase, dst)`` → tuple of ``(neighbor, next_phase)``
+candidates on shortest legal continuations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.routing.base import Hop, Phase, RoutingAlgorithm
+
+
+class RoutingTable:
+    """Dense (switch, phase, destination) → next-hop-options table."""
+
+    def __init__(self, routing: RoutingAlgorithm):
+        self.routing = routing
+        self.topology = routing.topology
+        n = self.topology.num_switches
+        # _table[dst][phase][switch] = tuple of hops
+        self._table: List[List[List[Tuple[Hop, ...]]]] = [
+            [
+                [routing.next_hops(s, Phase(p), dst) for s in range(n)]
+                for p in (Phase.UP, Phase.DOWN)
+            ]
+            for dst in range(n)
+        ]
+
+    def hops(self, current: int, phase: Phase, dst: int) -> Tuple[Hop, ...]:
+        """Legal shortest next hops from ``(current, phase)`` toward ``dst``."""
+        return self._table[dst][phase][current]
+
+    def path_length(self, src: int, dst: int) -> int:
+        """Length in hops of the routes the table produces for ``src → dst``."""
+        return int(self.routing.distances()[src, dst])
+
+
+def build_routing_table(routing: RoutingAlgorithm) -> RoutingTable:
+    """Convenience constructor mirroring the package's functional style."""
+    return RoutingTable(routing)
+
+
+__all__ = ["RoutingTable", "build_routing_table"]

@@ -1,0 +1,245 @@
+"""Up*/down* routing (Autonet-style).
+
+A BFS spanning tree is grown from a root switch; every link is oriented so
+that its "up" end is the endpoint closer to the root (ties by lower id).
+A path is *legal* iff it consists of zero or more up traversals followed by
+zero or more down traversals.  This forbids some minimal paths — the effect
+the paper's distance model is designed to capture — and guarantees both
+connectivity and deadlock freedom.
+
+Implementation: a packet's routing state is ``(switch, phase)`` with
+``phase`` from :class:`~repro.routing.base.Phase`; legality becomes a plain
+reachability problem on a directed *state graph* with ``2N`` nodes:
+
+- an up traversal keeps phase ``UP``;
+- a down traversal moves (or keeps) phase ``DOWN``;
+- no edge ever leaves ``DOWN`` for ``UP``.
+
+Shortest legal distances, per-state next hops and shortest-path link
+supports all come out of forward/backward BFS on this graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.routing.base import Hop, Phase, RoutingAlgorithm
+from repro.topology.graph import Link, Topology
+
+_UNREACHED = -1
+
+
+def bfs_levels(topology: Topology, root: int) -> np.ndarray:
+    """BFS level of every switch from ``root`` (the spanning-tree depth)."""
+    n = topology.num_switches
+    level = np.full(n, _UNREACHED, dtype=np.int64)
+    level[root] = 0
+    frontier = [root]
+    d = 0
+    while frontier:
+        d += 1
+        nxt = []
+        for u in frontier:
+            for v in topology.neighbors(u):
+                if level[v] == _UNREACHED:
+                    level[v] = d
+                    nxt.append(v)
+        frontier = nxt
+    return level
+
+
+def choose_root(topology: Topology) -> int:
+    """Deterministic root election: maximum degree, ties by lowest id.
+
+    Autonet elects the root dynamically; any deterministic rule preserves
+    the algorithm's structure, and max-degree roots tend to give shallower
+    trees (slightly better legal distances).
+    """
+    best = 0
+    best_deg = topology.degree(0)
+    for s in range(1, topology.num_switches):
+        d = topology.degree(s)
+        if d > best_deg:
+            best, best_deg = s, d
+    return best
+
+
+class UpDownRouting(RoutingAlgorithm):
+    """Up*/down* routing over a fixed topology.
+
+    Parameters
+    ----------
+    topology:
+        The switch network (must be connected).
+    root:
+        Spanning-tree root.  ``None`` elects one via :func:`choose_root`.
+    """
+
+    def __init__(self, topology: Topology, *, root: Optional[int] = None):
+        super().__init__(topology)
+        n = topology.num_switches
+        if root is None:
+            root = choose_root(topology)
+        if not (0 <= root < n):
+            raise ValueError(f"root {root} outside 0..{n - 1}")
+        self.root = root
+        self.level = bfs_levels(topology, root)
+
+        # Directed state-graph adjacency: for each (switch, phase) the legal
+        # (neighbor, phase') continuations, independent of destination.
+        self._succ: List[List[List[Hop]]] = [
+            [[] for _ in range(n)] for _ in range(2)
+        ]
+        self._pred: List[List[List[Hop]]] = [
+            [[] for _ in range(n)] for _ in range(2)
+        ]
+        for u, v in topology.links:
+            for a, b in ((u, v), (v, u)):
+                if self.is_up(a, b):
+                    self._add_edge(a, Phase.UP, b, Phase.UP)
+                else:
+                    self._add_edge(a, Phase.UP, b, Phase.DOWN)
+                    self._add_edge(a, Phase.DOWN, b, Phase.DOWN)
+
+        self._dist: Optional[np.ndarray] = None
+        # Per-destination remaining-distance arrays, filled lazily:
+        # _db[dst] has shape (2, N): _db[dst][phase, switch].
+        self._db: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # orientation
+    # ------------------------------------------------------------------ #
+
+    def is_up(self, frm: int, to: int) -> bool:
+        """True when traversing the link ``frm -> to`` is an *up* traversal.
+
+        The up end of a link is the endpoint with the lexicographically
+        smaller ``(BFS level, id)``; travelling toward it is travelling up.
+        """
+        if not self.topology.has_link(frm, to):
+            raise ValueError(f"({frm},{to}) is not a link of {self.topology.name}")
+        return (self.level[to], to) < (self.level[frm], frm)
+
+    def up_end(self, u: int, v: int) -> int:
+        """The endpoint of link ``u-v`` closer to the root."""
+        return v if self.is_up(u, v) else u
+
+    # ------------------------------------------------------------------ #
+    # RoutingAlgorithm interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        return "updown"
+
+    def distances(self) -> np.ndarray:
+        """All-pairs shortest legal distances (symmetric for up*/down*)."""
+        if self._dist is None:
+            n = self.topology.num_switches
+            d = np.empty((n, n), dtype=np.int64)
+            for src in range(n):
+                df = self._forward_bfs(src).astype(float)
+                df[df < 0] = np.inf  # unreachable in that phase
+                best = np.minimum(df[Phase.UP], df[Phase.DOWN])
+                if np.isinf(best).any():
+                    missing = int(np.nonzero(np.isinf(best))[0][0])
+                    raise RuntimeError(f"updown: {missing} unreachable from {src}")
+                d[src] = best.astype(np.int64)
+            self._dist = d
+        return self._dist
+
+    def links_on_shortest_paths(self, src: int, dst: int) -> FrozenSet[Link]:
+        if src == dst:
+            return frozenset()
+        df = self._forward_bfs(src)
+        db = self._backward_dist(dst)
+        finite = [int(df[p, dst]) for p in (Phase.UP, Phase.DOWN) if df[p, dst] >= 0]
+        if not finite:
+            raise RuntimeError(f"updown: {dst} unreachable from {src}")
+        total = min(finite)
+        links = set()
+        n = self.topology.num_switches
+        for phase in (Phase.UP, Phase.DOWN):
+            for u in range(n):
+                fu = df[phase, u]
+                if fu < 0:
+                    continue
+                for v, nphase in self._succ[phase][u]:
+                    bv = db[nphase, v]
+                    if bv >= 0 and fu + 1 + bv == total:
+                        links.add((u, v) if u < v else (v, u))
+        return frozenset(links)
+
+    def next_hops(self, current: int, phase: Phase, dst: int) -> Tuple[Hop, ...]:
+        if current == dst:
+            return ()
+        db = self._backward_dist(dst)
+        here = db[phase, current]
+        if here < 0:
+            return ()
+        out = [
+            (v, nphase)
+            for v, nphase in self._succ[phase][current]
+            if db[nphase, v] == here - 1
+        ]
+        out.sort()
+        return tuple(out)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _add_edge(self, u: int, pu: Phase, v: int, pv: Phase) -> None:
+        self._succ[pu][u].append((v, pv))
+        self._pred[pv][v].append((u, pu))
+
+    def _forward_bfs(self, src: int) -> np.ndarray:
+        """Distances from state ``(src, UP)`` to every state; shape (2, N)."""
+        n = self.topology.num_switches
+        dist = np.full((2, n), _UNREACHED, dtype=np.int64)
+        dist[Phase.UP, src] = 0
+        frontier: List[Hop] = [(src, Phase.UP)]
+        d = 0
+        while frontier:
+            d += 1
+            nxt: List[Hop] = []
+            for u, pu in frontier:
+                for v, pv in self._succ[pu][u]:
+                    if dist[pv, v] == _UNREACHED:
+                        dist[pv, v] = d
+                        nxt.append((v, pv))
+            frontier = nxt
+        return dist
+
+    def _backward_dist(self, dst: int) -> np.ndarray:
+        """Remaining legal distance from every state to switch ``dst``.
+
+        BFS over reversed state edges from both ``(dst, UP)`` and
+        ``(dst, DOWN)`` (arriving in either phase completes the route).
+        Cached per destination — the simulator queries this on every hop.
+        """
+        cached = self._db.get(dst)
+        if cached is not None:
+            return cached
+        n = self.topology.num_switches
+        dist = np.full((2, n), _UNREACHED, dtype=np.int64)
+        dist[Phase.UP, dst] = 0
+        dist[Phase.DOWN, dst] = 0
+        frontier: List[Hop] = [(dst, Phase.UP), (dst, Phase.DOWN)]
+        d = 0
+        while frontier:
+            d += 1
+            nxt: List[Hop] = []
+            for v, pv in frontier:
+                for u, pu in self._pred[pv][v]:
+                    if dist[pu, u] == _UNREACHED:
+                        dist[pu, u] = d
+                        nxt.append((u, pu))
+            frontier = nxt
+        self._db[dst] = dist
+        return dist
+
+
+__all__ = ["UpDownRouting", "bfs_levels", "choose_root"]

@@ -1,0 +1,110 @@
+"""Search interfaces and the similarity objective.
+
+Every method optimizes the same thing: minimize ``F_G`` over partitions of
+the switches into clusters of fixed sizes (Section 4.2 — minimizing the
+similarity function maximizes the clustering coefficient for fixed sizes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mapping import Partition, random_partition
+from repro.core.quality import QualityEvaluator, TableLike
+from repro.search.state import PartitionState
+from repro.util.rng import SeedLike
+
+
+class SimilarityObjective:
+    """Minimize ``F_G`` over partitions with fixed cluster sizes.
+
+    Parameters
+    ----------
+    table:
+        A :class:`~repro.distance.table.DistanceTable` or raw matrix.
+    sizes:
+        Switches per cluster (the paper: equal sizes ``N / M``).
+    num_switches:
+        Defaults to the table size; may be larger only in tests.
+    """
+
+    def __init__(self, table: TableLike, sizes: Sequence[int],
+                 num_switches: Optional[int] = None):
+        self.evaluator = QualityEvaluator(table)
+        self.sizes = [int(s) for s in sizes]
+        if any(s <= 0 for s in self.sizes):
+            raise ValueError(f"cluster sizes must be positive, got {self.sizes}")
+        self.num_switches = num_switches or self.evaluator.n
+        if sum(self.sizes) > self.num_switches:
+            raise ValueError(
+                f"sizes sum to {sum(self.sizes)} > {self.num_switches} switches"
+            )
+        if self.num_switches != self.evaluator.n:
+            raise ValueError(
+                f"table covers {self.evaluator.n} switches, topology has "
+                f"{self.num_switches}"
+            )
+
+    def random_state(self, seed: SeedLike = None) -> PartitionState:
+        """A search state over a uniformly random fixed-size partition."""
+        part = random_partition(self.sizes, self.num_switches, seed)
+        return PartitionState(self.evaluator, part)
+
+    def state_from(self, partition: Partition) -> PartitionState:
+        """Wrap an existing partition (warm start); sizes must match."""
+        if partition.sizes() != self.sizes:
+            raise ValueError(
+                f"partition sizes {partition.sizes()} do not match objective "
+                f"sizes {self.sizes}"
+            )
+        return PartitionState(self.evaluator, partition)
+
+    def value(self, partition: Partition) -> float:
+        """``F_G`` of a partition under this objective's table."""
+        return self.evaluator.similarity(partition)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run.
+
+    ``trace`` records the objective value after every iteration (for Tabu,
+    exactly the ``F(P_i)`` series of Figure 1); ``restart_indices`` marks
+    where each seed's segment starts within the trace.
+    """
+
+    best_partition: Partition
+    best_value: float
+    method: str
+    iterations: int = 0
+    evaluations: int = 0
+    trace: List[float] = field(default_factory=list)
+    restart_indices: List[int] = field(default_factory=list)
+    optimal: Optional[bool] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not np.isfinite(self.best_value):
+            raise ValueError(f"non-finite best value {self.best_value}")
+
+
+class SearchMethod(ABC):
+    """A strategy that minimizes a :class:`SimilarityObjective`."""
+
+    name: str = "search"
+
+    @abstractmethod
+    def run(self, objective: SimilarityObjective, seed: SeedLike = None,
+            initial: Optional[Partition] = None) -> SearchResult:
+        """Run the search and return the best partition found.
+
+        ``initial`` lets callers warm-start from a known partition; methods
+        that are population- or enumeration-based may ignore it.
+        """
+
+
+__all__ = ["SimilarityObjective", "SearchResult", "SearchMethod"]

@@ -1,0 +1,54 @@
+"""Random sampling baseline.
+
+The paper's null hypothesis: mappings drawn uniformly at random (this is
+exactly what its "randomly generated mappings" are).  As a search method it
+keeps the best of ``samples`` draws; with ``samples=1`` it produces one
+random mapping for the simulator comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.mapping import Partition
+from repro.search.base import SearchMethod, SearchResult, SimilarityObjective
+from repro.util.rng import SeedLike, as_rng
+
+_EPS = 1e-12
+
+
+class RandomSearch(SearchMethod):
+    """Keep the best of ``samples`` uniformly random partitions."""
+
+    name = "random"
+
+    def __init__(self, *, samples: int = 100):
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        self.samples = samples
+
+    def run(self, objective: SimilarityObjective, seed: SeedLike = None,
+            initial: Optional[Partition] = None) -> SearchResult:
+        rng = as_rng(seed)
+        best_partition = initial
+        best_value = objective.value(initial) if initial is not None else float("inf")
+        trace = [] if initial is None else [best_value]
+        for _ in range(self.samples):
+            state = objective.random_state(rng)
+            v = state.value()
+            trace.append(v)
+            if v < best_value - _EPS:
+                best_value = v
+                best_partition = state.partition()
+        assert best_partition is not None
+        return SearchResult(
+            best_partition=best_partition,
+            best_value=best_value,
+            method=self.name,
+            iterations=self.samples,
+            evaluations=self.samples,
+            trace=trace,
+        )
+
+
+__all__ = ["RandomSearch"]

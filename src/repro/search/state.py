@@ -1,0 +1,125 @@
+"""Incremental partition state shared by every search method.
+
+A state is a partition with fixed cluster sizes plus the bookkeeping needed
+to evaluate a swap of two switches in O(1):
+
+- ``labels``   — cluster index per switch (−1 = unassigned);
+- ``g``        — the cluster-load matrix ``G[s, c] = Σ_{x∈c} T[s,x]²``;
+- ``raw``      — the current ``Σ_i F_{A_i}`` (unnormalized similarity sum).
+
+``F_G = raw / (intracluster_pairs · norm)`` — the scale factor is constant
+for fixed sizes, so searches may rank moves by raw delta and only convert
+to ``F_G`` for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.core.mapping import Partition
+from repro.core.quality import QualityEvaluator
+
+
+class PartitionState:
+    """Mutable search state over a fixed distance table and cluster sizes."""
+
+    def __init__(self, evaluator: QualityEvaluator, partition: Partition):
+        sizes = partition.sizes()
+        pairs = sum(x * (x - 1) // 2 for x in sizes)
+        if pairs == 0:
+            raise ValueError("search objective undefined: no intracluster pairs")
+        self.evaluator = evaluator
+        self.labels = np.array(partition.labels, dtype=np.int64)
+        self.g = evaluator.cluster_load_matrix(partition)
+        self.raw = evaluator.intracluster_sum(partition)
+        self.scale = pairs * evaluator.norm
+        self._assigned = np.nonzero(self.labels >= 0)[0]
+
+    # -- value ------------------------------------------------------------ #
+
+    def value(self) -> float:
+        """Current ``F_G``."""
+        return self.raw / self.scale
+
+    def partition(self) -> Partition:
+        """Snapshot of the current labels as an immutable Partition."""
+        return Partition(self.labels)
+
+    @property
+    def assigned(self) -> np.ndarray:
+        """Switch ids that belong to some cluster (stable across swaps)."""
+        return self._assigned
+
+    # -- moves ------------------------------------------------------------ #
+
+    def swap_delta(self, a: int, b: int) -> float:
+        """``F_G`` change if switches ``a`` and ``b`` exchanged clusters. O(1)."""
+        return self.evaluator.swap_delta_raw(self.labels, self.g, a, b) / self.scale
+
+    def apply_swap(self, a: int, b: int) -> None:
+        """Apply the swap, keeping ``raw``/``g`` consistent. O(N)."""
+        delta = self.evaluator.swap_delta_raw(self.labels, self.g, a, b)
+        self.evaluator.apply_swap(self.labels, self.g, a, b)
+        self.raw += delta
+
+    def candidate_swaps(self) -> Iterator[Tuple[int, int]]:
+        """All unordered pairs of assigned switches in different clusters."""
+        assigned = self._assigned
+        labels = self.labels
+        for i in range(assigned.size):
+            a = int(assigned[i])
+            la = labels[a]
+            for j in range(i + 1, assigned.size):
+                b = int(assigned[j])
+                if labels[b] != la:
+                    yield (a, b)
+
+    def best_swap(
+        self, forbidden: "set[Tuple[int, int]] | None" = None,
+        aspiration_below: float = float("-inf"),
+    ) -> Tuple[Tuple[int, int], float] | Tuple[None, float]:
+        """The swap with the most negative (or least positive) ``F_G`` delta.
+
+        ``forbidden`` holds tabu pairs; a tabu swap is still considered when
+        it would drop the value strictly below ``aspiration_below`` (the
+        classical aspiration criterion).  Returns ``(None, 0.0)`` when no
+        candidate exists at all.
+        """
+        best_pair = None
+        best_delta = float("inf")
+        current = self.value()
+        for pair in self.candidate_swaps():
+            delta = self.swap_delta(*pair)
+            if forbidden and pair in forbidden:
+                if not (current + delta < aspiration_below):
+                    continue
+            if delta < best_delta:
+                best_delta = delta
+                best_pair = pair
+        if best_pair is None:
+            return None, 0.0
+        return best_pair, best_delta
+
+    # -- misc --------------------------------------------------------------#
+
+    def copy(self) -> "PartitionState":
+        """Independent deep copy (labels and bookkeeping)."""
+        clone = object.__new__(PartitionState)
+        clone.evaluator = self.evaluator
+        clone.labels = self.labels.copy()
+        clone.g = self.g.copy()
+        clone.raw = self.raw
+        clone.scale = self.scale
+        clone._assigned = self._assigned
+        return clone
+
+    def recompute(self) -> None:
+        """Rebuild ``g``/``raw`` from scratch (defensive; used by tests)."""
+        part = self.partition()
+        self.g = self.evaluator.cluster_load_matrix(part)
+        self.raw = self.evaluator.intracluster_sum(part)
+
+
+__all__ = ["PartitionState"]

@@ -1,0 +1,143 @@
+"""The paper's Tabu search variant (Section 4.2).
+
+Per seed (random initial mapping):
+
+1. take the swap of two switches in different clusters with the greatest
+   decrease of ``F``; if no decrease exists (local minimum), take the swap
+   with the *smallest increase* instead;
+2. forbid the inverse of the applied swap for ``tenure`` iterations (the
+   "Tabu movements"); a tabu swap may still be taken if it would improve on
+   the best value seen so far (aspiration — standard, and consistent with
+   the paper's "the search must end when F reaches its minimum value");
+3. stop the seed when the same local minimum has been visited three times,
+   or after 20 iterations.
+
+The whole procedure restarts from 10 random seeds and keeps the best
+partition overall.  On networks small enough for exhaustive enumeration the
+paper reports (and our tests verify) that this finds the global optimum.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+from repro.core.mapping import Partition
+from repro.search.base import SearchMethod, SearchResult, SimilarityObjective
+from repro.util.rng import SeedLike, spawn_rngs
+
+_EPS = 1e-12
+
+
+class TabuSearch(SearchMethod):
+    """Multi-start Tabu search minimizing ``F_G``.
+
+    Parameters
+    ----------
+    restarts:
+        Random seeds to try (paper: 10).
+    max_iterations:
+        Swap iterations per seed (paper: 20).
+    local_min_repeats:
+        Stop a seed once one local minimum is reached this many times
+        (paper: 3).
+    tenure:
+        Iterations an applied swap's inverse stays forbidden.  The paper
+        leaves ``h`` unspecified; 5 reproduces its qualitative behaviour on
+        16–24-switch networks.
+    aspiration:
+        Allow tabu moves that beat the best value seen so far.
+    """
+
+    name = "tabu"
+
+    def __init__(self, *, restarts: int = 10, max_iterations: int = 20,
+                 local_min_repeats: int = 3, tenure: int = 5,
+                 aspiration: bool = True):
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        if local_min_repeats < 1:
+            raise ValueError(f"local_min_repeats must be >= 1, got {local_min_repeats}")
+        if tenure < 0:
+            raise ValueError(f"tenure must be >= 0, got {tenure}")
+        self.restarts = restarts
+        self.max_iterations = max_iterations
+        self.local_min_repeats = local_min_repeats
+        self.tenure = tenure
+        self.aspiration = aspiration
+
+    def run(self, objective: SimilarityObjective, seed: SeedLike = None,
+            initial: Optional[Partition] = None) -> SearchResult:
+        rngs = spawn_rngs(seed, self.restarts)
+        best_partition: Optional[Partition] = None
+        best_value = float("inf")
+        trace = []
+        restart_indices = []
+        total_iter = 0
+        total_evals = 0
+
+        for r, rng in enumerate(rngs):
+            if r == 0 and initial is not None:
+                state = objective.state_from(initial)
+            else:
+                state = objective.random_state(rng)
+            restart_indices.append(len(trace))
+            trace.append(state.value())
+
+            # Cross-cluster pair count is invariant under swaps (fixed sizes).
+            n_assigned = state.assigned.size
+            n_candidates = n_assigned * (n_assigned - 1) // 2 - sum(
+                x * (x - 1) // 2 for x in objective.sizes
+            )
+
+            tabu_until: Dict[Tuple[int, int], int] = {}
+            local_min_counts: Counter = Counter()
+            if state.value() < best_value - _EPS:
+                best_value = state.value()
+                best_partition = state.partition()
+
+            for it in range(self.max_iterations):
+                forbidden = {p for p, until in tabu_until.items() if until > it}
+                aspiration_level = best_value if self.aspiration else float("-inf")
+                pair, delta = state.best_swap(forbidden, aspiration_level)
+                total_evals += n_candidates
+                if pair is None:
+                    break  # no moves at all (degenerate objective)
+
+                if delta >= -_EPS:
+                    # Local minimum: count the visit before escaping uphill.
+                    key = state.partition().canonical_key()
+                    local_min_counts[key] += 1
+                    if local_min_counts[key] >= self.local_min_repeats:
+                        break
+
+                state.apply_swap(*pair)
+                total_iter += 1
+                tabu_until[pair] = it + 1 + self.tenure
+                trace.append(state.value())
+
+                if state.value() < best_value - _EPS:
+                    best_value = state.value()
+                    best_partition = state.partition()
+
+        assert best_partition is not None
+        return SearchResult(
+            best_partition=best_partition,
+            best_value=best_value,
+            method=self.name,
+            iterations=total_iter,
+            evaluations=total_evals,
+            trace=trace,
+            restart_indices=restart_indices,
+            meta={
+                "restarts": self.restarts,
+                "max_iterations": self.max_iterations,
+                "tenure": self.tenure,
+                "local_min_repeats": self.local_min_repeats,
+            },
+        )
+
+
+__all__ = ["TabuSearch"]

@@ -1,0 +1,78 @@
+"""Simulator configuration.
+
+Defaults follow the standard Duato-school evaluation setup of the paper's
+era: 16-flit messages, small (2-flit) channel buffers, 1 flit/cycle links,
+one injection channel per workstation and one delivery channel per
+workstation port, adaptive selection among the legal shortest up*/down*
+output ports with random arbitration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of the wormhole simulator.
+
+    Attributes
+    ----------
+    message_length:
+        Flits per message (header included).
+    buffer_flits:
+        FIFO buffer capacity of every channel, in flits.
+    delivery_channels:
+        Concurrent message drains per switch (``None`` = hosts per switch).
+    virtual_channels:
+        Virtual channels multiplexed on every physical inter-switch link
+        (each with its own ``buffer_flits`` FIFO; the link still moves at
+        most 1 flit/cycle).  The paper's setting is 1; >1 reduces
+        head-of-line blocking and is exercised by the VC ablation bench.
+    adaptive:
+        ``True``: the header may take any free legal shortest output port
+        (selected uniformly at random); ``False``: deterministic routing —
+        always the first legal port.
+    warmup_cycles / measure_cycles:
+        Cycles discarded before measurement / measured.
+    queue_capacity:
+        Pending messages a host can hold; arrivals are postponed (source
+        throttled) when full, which bounds memory in deep saturation.
+    record_trace:
+        Record one ``(cycle, src_host, dst_host, length)`` tuple per
+        generated message in ``simulator.trace`` — the raw material for
+        communication-requirement estimation (see
+        :mod:`repro.simulation.probe`).  Off by default: a saturated run
+        generates many messages.
+    seed:
+        Seed of the simulator's own RNG (arrival times, destination draws,
+        arbitration coin flips).
+    """
+
+    message_length: int = 16
+    buffer_flits: int = 2
+    delivery_channels: Optional[int] = None
+    virtual_channels: int = 1
+    adaptive: bool = True
+    warmup_cycles: int = 1000
+    measure_cycles: int = 4000
+    queue_capacity: int = 16
+    record_trace: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        check_positive(self.message_length, "message_length")
+        check_positive(self.buffer_flits, "buffer_flits")
+        check_positive(self.virtual_channels, "virtual_channels")
+        if self.delivery_channels is not None:
+            check_positive(self.delivery_channels, "delivery_channels")
+        if self.warmup_cycles < 0:
+            raise ValueError(f"warmup_cycles must be >= 0, got {self.warmup_cycles}")
+        check_positive(self.measure_cycles, "measure_cycles")
+        check_positive(self.queue_capacity, "queue_capacity")
+
+
+__all__ = ["SimulationConfig"]

@@ -1,0 +1,81 @@
+"""The in-flight message (worm) record.
+
+A message is a contiguous worm of flits spread over the chain of channels
+it currently holds.  ``chain[k]`` is the k-th held channel id (tail side
+first); ``occupancy[k]`` is how many of its flits sit in that channel's
+buffer.  The engine maintains the invariants:
+
+- ``sum(occupancy) + to_inject + consumed == length``;
+- channels in ``chain`` are owned exclusively by this message;
+- the head flit is in ``chain[-1]`` whenever ``occupancy[-1] > 0``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.routing.base import Phase
+
+
+class Message:
+    """One message travelling through the network."""
+
+    __slots__ = (
+        "mid", "src_host", "dst_host", "src_switch", "dst_switch", "length",
+        "generated_at", "injected_at", "completed_at",
+        "chain", "occupancy", "to_inject", "consumed",
+        "head_switch", "phase", "draining", "hops",
+    )
+
+    def __init__(self, mid: int, src_host: int, dst_host: int,
+                 src_switch: int, dst_switch: int, length: int,
+                 generated_at: int):
+        self.mid = mid
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.src_switch = src_switch
+        self.dst_switch = dst_switch
+        self.length = length
+        self.generated_at = generated_at
+        self.injected_at: Optional[int] = None
+        self.completed_at: Optional[int] = None
+
+        self.chain: List[int] = []       # held channel ids, tail first
+        self.occupancy: List[int] = []   # flits per held channel
+        self.to_inject = length          # flits still at the source
+        self.consumed = 0                # flits delivered
+        self.head_switch = src_switch    # switch the header has reached
+        self.phase = Phase.UP
+        self.draining = False            # delivery channel acquired
+        self.hops = 0                    # inter-switch channels acquired
+
+    @property
+    def in_network(self) -> int:
+        """Flits currently buffered in the network."""
+        return self.length - self.to_inject - self.consumed
+
+    @property
+    def done(self) -> bool:
+        return self.consumed >= self.length
+
+    def latency(self) -> int:
+        """Network latency: injection of the header → delivery of the tail."""
+        if self.injected_at is None or self.completed_at is None:
+            raise ValueError(f"message {self.mid} has not completed")
+        return self.completed_at - self.injected_at
+
+    def total_latency(self) -> int:
+        """Source-queue wait plus network latency."""
+        if self.completed_at is None:
+            raise ValueError(f"message {self.mid} has not completed")
+        return self.completed_at - self.generated_at
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(mid={self.mid}, {self.src_host}->{self.dst_host}, "
+            f"sw {self.src_switch}->{self.dst_switch}, head@{self.head_switch}, "
+            f"inj={self.to_inject} net={self.in_network} cons={self.consumed})"
+        )
+
+
+__all__ = ["Message"]

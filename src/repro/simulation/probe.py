@@ -1,0 +1,155 @@
+"""Estimating application communication requirements from observed traffic.
+
+The paper's first future-work item: "the measurement of the communication
+requirements of the applications running on the machine must be measured
+or estimated".  This module implements the estimation half: given a
+message trace (as recorded by the simulator with
+``SimulationConfig(record_trace=True)``, or collected by any monitoring
+layer), produce per-application requirement estimates —
+
+- injection bandwidth per process (flits/cycle), the quantity
+  :class:`repro.hetsched.integrated.IntegratedScheduler` consumes;
+- the intracluster traffic fraction, which validates (or refutes) the
+  paper's all-intracluster assumption for a given workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+TraceRecord = Tuple[int, int, int, int]  # (cycle, src_host, dst_host, flits)
+
+
+@dataclass
+class ClusterRequirement:
+    """Measured communication demand of one application."""
+
+    cluster: int
+    processes: int
+    messages: int
+    flits: int
+    flits_per_process_cycle: float
+    intracluster_fraction: float
+
+
+@dataclass
+class RequirementEstimate:
+    """Workload-wide requirement estimate from a traffic trace."""
+
+    cycles_observed: int
+    per_cluster: Dict[int, ClusterRequirement]
+    total_flits: int
+
+    @property
+    def flits_per_process_cycle(self) -> float:
+        """Mean injection demand per process — the integrated scheduler's
+        ``flits_per_process_cycle`` input."""
+        procs = sum(c.processes for c in self.per_cluster.values())
+        if procs == 0 or self.cycles_observed == 0:
+            return 0.0
+        return self.total_flits / procs / self.cycles_observed
+
+    @property
+    def intracluster_fraction(self) -> float:
+        """Traffic-weighted fraction of messages staying inside clusters."""
+        total = sum(c.messages for c in self.per_cluster.values())
+        if total == 0:
+            return float("nan")
+        intra = sum(
+            c.messages * c.intracluster_fraction
+            for c in self.per_cluster.values()
+        )
+        return intra / total
+
+
+def estimate_requirements(
+    trace: Iterable[TraceRecord],
+    cluster_of_host: Mapping[int, int],
+    cycles_observed: int,
+) -> RequirementEstimate:
+    """Aggregate a message trace into per-application requirements.
+
+    Parameters
+    ----------
+    trace:
+        ``(cycle, src_host, dst_host, flits)`` records; messages whose
+        source host runs no known process are ignored (monitoring noise).
+    cluster_of_host:
+        host → logical-cluster index (e.g.
+        :meth:`repro.core.mapping.ProcessMapping.cluster_of_host`).
+    cycles_observed:
+        Observation-window length; rates are normalized by it.
+    """
+    if cycles_observed <= 0:
+        raise ValueError(f"cycles_observed must be > 0, got {cycles_observed}")
+    messages: Dict[int, int] = {}
+    flits: Dict[int, int] = {}
+    intra: Dict[int, int] = {}
+    for _cycle, src, dst, length in trace:
+        c = cluster_of_host.get(src)
+        if c is None:
+            continue
+        messages[c] = messages.get(c, 0) + 1
+        flits[c] = flits.get(c, 0) + int(length)
+        if cluster_of_host.get(dst) == c:
+            intra[c] = intra.get(c, 0) + 1
+
+    proc_count: Dict[int, int] = {}
+    for _host, c in cluster_of_host.items():
+        proc_count[c] = proc_count.get(c, 0) + 1
+
+    per_cluster: Dict[int, ClusterRequirement] = {}
+    for c, procs in sorted(proc_count.items()):
+        msgs = messages.get(c, 0)
+        fl = flits.get(c, 0)
+        per_cluster[c] = ClusterRequirement(
+            cluster=c,
+            processes=procs,
+            messages=msgs,
+            flits=fl,
+            flits_per_process_cycle=fl / procs / cycles_observed,
+            intracluster_fraction=(intra.get(c, 0) / msgs) if msgs else
+            float("nan"),
+        )
+    return RequirementEstimate(
+        cycles_observed=cycles_observed,
+        per_cluster=per_cluster,
+        total_flits=sum(flits.values()),
+    )
+
+
+def probe_requirements(
+    simulator,
+    *,
+    cluster_of_host: Mapping[int, int],
+    cycles: Optional[int] = None,
+) -> RequirementEstimate:
+    """Run a (trace-recording) simulator and estimate requirements.
+
+    ``simulator`` must have been built with
+    ``SimulationConfig(record_trace=True)``; it is run for its configured
+    warmup + measurement window (or stepped ``cycles`` cycles when given)
+    and the recorded arrivals are aggregated.
+    """
+    if not simulator.config.record_trace:
+        raise ValueError(
+            "simulator was built without record_trace=True; no trace to probe"
+        )
+    if cycles is None:
+        simulator.run()
+        observed = simulator.cycle
+    else:
+        for _ in range(cycles):
+            simulator.step()
+        observed = cycles
+    return estimate_requirements(simulator.trace, cluster_of_host, observed)
+
+
+__all__ = [
+    "TraceRecord",
+    "ClusterRequirement",
+    "RequirementEstimate",
+    "estimate_requirements",
+    "probe_requirements",
+]

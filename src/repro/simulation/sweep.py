@@ -1,0 +1,127 @@
+"""Load sweeps and saturation estimation.
+
+The paper simulates each mapping "from low traffic (simulation point S1)
+to saturation (simulation point S9)".  :func:`make_load_points` builds such
+a ladder of injection rates; :func:`run_load_sweep` executes it for one
+mapping; :func:`find_saturation_rate` estimates the saturation throughput
+by bisection on the offered load (used both to place S9 and to report the
+paper's "network throughput" figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.routing.tables import RoutingTable
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.network import WormholeNetworkSimulator
+from repro.simulation.traffic import TrafficPattern
+from repro.util.rng import derive_seed
+
+
+@dataclass
+class LoadPoint:
+    """One sweep point: the offered rate and the measured result."""
+
+    index: int                      # 1-based: S1 … S9
+    rate: float                     # messages / cycle / host
+    result: SimulationResult
+
+    @property
+    def label(self) -> str:
+        return f"S{self.index}"
+
+
+def make_load_points(max_rate: float, n: int = 9, min_fraction: float = 0.1) -> List[float]:
+    """A ladder of ``n`` injection rates from low load to ``max_rate``.
+
+    Linear spacing from ``min_fraction * max_rate`` — matching the paper's
+    S1 (low traffic) … S9 (deep saturation) structure when ``max_rate`` is
+    set slightly above the best mapping's saturation rate.
+    """
+    if max_rate <= 0:
+        raise ValueError(f"max_rate must be > 0, got {max_rate}")
+    if n < 2:
+        raise ValueError(f"need at least 2 points, got {n}")
+    lo = max_rate * min_fraction
+    step = (max_rate - lo) / (n - 1)
+    return [lo + i * step for i in range(n)]
+
+
+def run_load_sweep(
+    table: RoutingTable,
+    traffic: TrafficPattern,
+    rates: Sequence[float],
+    config: SimulationConfig = SimulationConfig(),
+) -> List[LoadPoint]:
+    """Simulate every rate in ``rates`` with independent, derived seeds."""
+    points = []
+    for i, rate in enumerate(rates, start=1):
+        cfg = replace(config, seed=derive_seed(config.seed, "sweep", i))
+        sim = WormholeNetworkSimulator(table, traffic, rate, cfg)
+        points.append(LoadPoint(index=i, rate=rate, result=sim.run()))
+    return points
+
+
+def find_saturation_rate(
+    table: RoutingTable,
+    traffic: TrafficPattern,
+    config: SimulationConfig = SimulationConfig(),
+    *,
+    lo: float = 0.001,
+    hi: float = 0.25,
+    tolerance: float = 0.05,
+    max_iterations: int = 12,
+) -> Dict[str, float]:
+    """Bisection estimate of the saturation point.
+
+    Returns ``{"rate": r*, "throughput": accepted_at_saturation}`` where
+    ``r*`` is the highest tested rate the network still accepts within 5 %
+    of offered.  ``throughput`` is measured at ~1.5·r* (deep saturation),
+    i.e. the paper's "maximum amount of information delivered per time
+    unit".
+    """
+    if not (0 < lo < hi):
+        raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+
+    def accepted_ratio(rate: float) -> SimulationResult:
+        cfg = replace(config, seed=derive_seed(config.seed, "sat", int(rate * 1e7)))
+        sim = WormholeNetworkSimulator(table, traffic, rate, cfg)
+        return sim.run()
+
+    # Grow hi until saturated (or give up and treat hi as unsaturable).
+    res_hi = accepted_ratio(hi)
+    grow = 0
+    while not res_hi.saturated and grow < 6:
+        lo = hi
+        hi *= 1.8
+        if hi > 1.0:
+            hi = 1.0
+            res_hi = accepted_ratio(hi)
+            break
+        res_hi = accepted_ratio(hi)
+        grow += 1
+
+    best_ok = lo
+    for _ in range(max_iterations):
+        if (hi - lo) / hi < tolerance:
+            break
+        mid = 0.5 * (lo + hi)
+        res = accepted_ratio(mid)
+        if res.saturated:
+            hi = mid
+        else:
+            lo = mid
+            best_ok = mid
+
+    deep = accepted_ratio(min(1.0, 1.5 * hi))
+    return {
+        "rate": best_ok,
+        "throughput": deep.accepted_flits_per_switch_cycle,
+        "deep_rate": min(1.0, 1.5 * hi),
+    }
+
+
+__all__ = ["LoadPoint", "make_load_points", "run_load_sweep", "find_saturation_rate"]

@@ -1,0 +1,115 @@
+"""Random irregular topology generation per the paper's constraints.
+
+Section 5.1: "The network topology is irregular and has been generated
+randomly.  [...] there are exactly 4 workstations connected to each switch
+[...] two neighbouring switches are connected by a single link [...] all
+the switches have the same size.  We assumed 8-port switches [...] From
+these 4 ports, three of them are used in each switch when the topology is
+generated.  The remaining port is left open."
+
+So the inter-switch graph is a random connected simple *d*-regular graph
+(d = 3 in the paper).  We generate it with the configuration (pairing)
+model plus rejection of non-simple / disconnected outcomes, which samples
+(asymptotically) uniformly over simple d-regular graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.topology.graph import Link, Topology
+from repro.util.rng import SeedLike, as_rng
+
+_MAX_ATTEMPTS = 5000
+
+
+def random_irregular_topology(
+    num_switches: int,
+    *,
+    degree: int = 3,
+    hosts_per_switch: int = 4,
+    switch_ports: int = 8,
+    seed: SeedLike = None,
+    name: str = "",
+) -> Topology:
+    """Generate a random connected simple ``degree``-regular switch network.
+
+    Parameters
+    ----------
+    num_switches:
+        Number of switches; ``num_switches * degree`` must be even and
+        ``num_switches > degree`` (otherwise no simple regular graph exists).
+    degree:
+        Inter-switch links per switch (paper: 3 of the 4 free ports).
+    hosts_per_switch, switch_ports:
+        Forwarded to :class:`~repro.topology.graph.Topology`; the paper uses
+        4 hosts on 8-port switches.
+    seed:
+        Anything accepted by :func:`repro.util.rng.as_rng`.
+
+    Raises
+    ------
+    ValueError
+        If the parameters admit no simple regular graph, or if rejection
+        sampling fails to find a connected simple graph (practically
+        impossible for the paper's sizes).
+    """
+    n, d = int(num_switches), int(degree)
+    if d < 1:
+        raise ValueError(f"degree must be >= 1, got {d}")
+    if n <= d:
+        raise ValueError(f"need num_switches > degree for a simple graph ({n} <= {d})")
+    if (n * d) % 2 != 0:
+        raise ValueError(f"num_switches * degree must be even, got {n}*{d}")
+    if d > switch_ports - hosts_per_switch:
+        raise ValueError(
+            f"degree {d} exceeds inter-switch ports "
+            f"({switch_ports} - {hosts_per_switch} hosts)"
+        )
+    rng = as_rng(seed)
+    for _ in range(_MAX_ATTEMPTS):
+        links = _pairing_model(n, d, rng)
+        if links is None:
+            continue
+        topo = Topology(
+            n,
+            links,
+            hosts_per_switch=hosts_per_switch,
+            switch_ports=switch_ports,
+            name=name or f"irregular-{n}sw-d{d}",
+        )
+        if topo.is_connected():
+            return topo
+    raise ValueError(
+        f"failed to sample a connected simple {d}-regular graph on {n} switches "
+        f"after {_MAX_ATTEMPTS} attempts"
+    )
+
+
+def _pairing_model(n: int, d: int, rng: np.random.Generator) -> Optional[List[Link]]:
+    """One configuration-model draw; None when the matching is not simple.
+
+    Each switch contributes ``d`` stubs; a uniformly random perfect matching
+    of the stubs induces a multigraph.  We reject draws containing loops or
+    parallel edges rather than repairing them, to keep the distribution
+    (asymptotically) uniform.
+    """
+    stubs = np.repeat(np.arange(n), d)
+    rng.shuffle(stubs)
+    links: List[Link] = []
+    seen = set()
+    for i in range(0, stubs.size, 2):
+        u, v = int(stubs[i]), int(stubs[i + 1])
+        if u == v:
+            return None
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            return None
+        seen.add(key)
+        links.append(key)
+    return links
+
+
+__all__ = ["random_irregular_topology"]

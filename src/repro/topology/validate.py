@@ -1,0 +1,71 @@
+"""Topology invariant checks.
+
+:func:`validate_topology` asserts structural invariants any topology must
+satisfy; :func:`check_paper_constraints` additionally enforces the exact
+restrictions of the paper's Section 5.1 evaluation setup.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import Topology
+
+
+class TopologyError(ValueError):
+    """A topology violates a required invariant."""
+
+
+def validate_topology(topo: Topology, *, require_connected: bool = True) -> None:
+    """Check structural invariants; raise :class:`TopologyError` on failure.
+
+    The :class:`Topology` constructor already rejects malformed inputs
+    (self-links, duplicates, port overflow); this re-verifies the derived
+    structures and connectivity so it can be used as a guard after
+    deserialization or programmatic surgery.
+    """
+    n = topo.num_switches
+    degree_from_links = [0] * n
+    for u, v in topo.links:
+        if not (0 <= u < v < n):
+            raise TopologyError(f"malformed link ({u},{v})")
+        degree_from_links[u] += 1
+        degree_from_links[v] += 1
+    for s in range(n):
+        if topo.degree(s) != degree_from_links[s]:
+            raise TopologyError(
+                f"adjacency/degree mismatch at switch {s}: "
+                f"{topo.degree(s)} vs {degree_from_links[s]}"
+            )
+        if topo.open_ports(s) < 0:
+            raise TopologyError(f"switch {s} uses more ports than it has")
+        for t in topo.neighbors(s):
+            if s not in topo.neighbors(t):
+                raise TopologyError(f"asymmetric adjacency between {s} and {t}")
+    if require_connected and not topo.is_connected():
+        raise TopologyError("topology is disconnected")
+
+
+def check_paper_constraints(topo: Topology, *, degree: int = 3) -> None:
+    """Enforce the paper's Section 5.1 setup.
+
+    - exactly 4 workstations per switch,
+    - 8-port switches,
+    - every switch uses exactly ``degree`` (= 3) inter-switch ports,
+    - single link between neighbours (guaranteed by the model),
+    - connected network.
+    """
+    validate_topology(topo, require_connected=True)
+    if topo.hosts_per_switch != 4:
+        raise TopologyError(
+            f"paper setup requires 4 hosts/switch, got {topo.hosts_per_switch}"
+        )
+    if topo.switch_ports != 8:
+        raise TopologyError(f"paper setup requires 8-port switches, got {topo.switch_ports}")
+    for s in range(topo.num_switches):
+        if topo.degree(s) != degree:
+            raise TopologyError(
+                f"paper setup requires degree {degree} at every switch; "
+                f"switch {s} has degree {topo.degree(s)}"
+            )
+
+
+__all__ = ["TopologyError", "validate_topology", "check_paper_constraints"]

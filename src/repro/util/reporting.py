@@ -1,0 +1,83 @@
+"""Plain-text tabular reporting.
+
+The benchmark harness regenerates the paper's figures as text series; this
+module renders them as aligned monospace tables so the output is readable in
+a terminal and diffable in CI, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+def format_float(x: Any, digits: int = 4) -> str:
+    """Format a number compactly; pass strings through unchanged."""
+    if isinstance(x, str):
+        return x
+    if x is None:
+        return "-"
+    if isinstance(x, (bool, np.bool_)):
+        return str(bool(x))
+    if isinstance(x, (int, np.integer)):
+        return str(int(x))
+    xf = float(x)
+    if math.isnan(xf):
+        return "nan"
+    if math.isinf(xf):
+        return "inf" if xf > 0 else "-inf"
+    if xf == 0:
+        return "0"
+    if abs(xf) >= 10 ** (digits + 2) or abs(xf) < 10 ** (-digits):
+        return f"{xf:.{digits}e}"
+    return f"{xf:.{digits}g}"
+
+
+class Table:
+    """Accumulate rows, render as an aligned text table.
+
+    >>> t = Table(["mapping", "C_c", "throughput"])
+    >>> t.add_row(["OP", 3.41, 0.52])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns: List[str] = [str(c) for c in columns]
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[Any], digits: int = 4) -> None:
+        """Append one row; cell count must match the column count."""
+        row = [format_float(v, digits) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The table as aligned monospace text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "  "
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = sep.join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append(sep.join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+__all__ = ["Table", "format_float"]

@@ -1,0 +1,73 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (topology generation, heuristic
+search, traffic injection) accepts a ``seed`` argument that may be an int,
+``None`` or an already-constructed :class:`numpy.random.Generator`.  This
+module centralizes the conversion so results are reproducible end to end:
+the same seed always yields the same topology, the same Tabu trajectory and
+the same simulated traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy), an integer, a
+    ``SeedSequence`` or an existing ``Generator`` (returned unchanged so
+    that callers can thread one generator through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot build a Generator from {type(seed).__name__}")
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    Used by multi-start searches and multi-mapping experiments so each
+    restart/replicate has an independent stream while the whole run stays
+    reproducible from a single integer.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Spawn from the generator's bit stream deterministically.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def derive_seed(seed: SeedLike, *keys: Union[int, str]) -> int:
+    """Deterministically derive an integer sub-seed from ``seed`` and keys.
+
+    Useful when a component needs a plain ``int`` seed (e.g. to store in a
+    result record) rather than a live generator.
+    """
+    base = 0 if seed is None else seed
+    if isinstance(base, np.random.Generator):
+        base = int(base.integers(0, 2**31 - 1))
+    if isinstance(base, np.random.SeedSequence):
+        base = int(base.generate_state(1)[0])
+    material = str(int(base)) + "|" + "|".join(str(k) for k in keys)
+    # FNV-1a, stable across processes (unlike hash()).
+    acc = 0xCBF29CE484222325
+    for ch in material.encode():
+        acc ^= ch
+        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc & 0x7FFFFFFF
+
+
+__all__ = ["SeedLike", "as_rng", "spawn_rngs", "derive_seed"]

@@ -1,0 +1,61 @@
+"""Argument-validation helpers with consistent error messages.
+
+Raising early with a precise message is cheaper than debugging a silently
+wrong distance table three layers up, so public constructors validate their
+inputs through these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(value: float, name: str, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_probability(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    check_in_range(value, name, 0.0, 1.0)
+
+
+def check_square_matrix(m: Any, name: str) -> np.ndarray:
+    """Coerce to a float ndarray and require it to be square 2-D."""
+    a = np.asarray(m, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"{name} must be a square 2-D matrix, got shape {a.shape}")
+    return a
+
+
+def check_symmetric(m: Any, name: str, atol: float = 1e-9) -> np.ndarray:
+    """Require a square matrix symmetric within ``atol``."""
+    a = check_square_matrix(m, name)
+    if not np.allclose(a, a.T, atol=atol):
+        raise ValueError(f"{name} must be symmetric (atol={atol})")
+    return a
+
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+    "check_square_matrix",
+    "check_symmetric",
+]

@@ -1,0 +1,168 @@
+"""Tests for the online (dynamic) scheduler."""
+
+import pytest
+
+from repro.core.dynamic import DynamicScheduler
+from repro.core.mapping import LogicalCluster
+from repro.core.scheduler import CommunicationAwareScheduler
+from repro.topology.irregular import random_irregular_topology
+
+
+@pytest.fixture
+def dyn(topo16):
+    return DynamicScheduler(topo16)
+
+
+def app(name, switches=4, hosts_per_switch=4):
+    return LogicalCluster(name, switches * hosts_per_switch)
+
+
+class TestSubmitRemove:
+    def test_submit_places_disjoint(self, dyn):
+        p1 = dyn.submit(app("a"), seed=0)
+        p2 = dyn.submit(app("b"), seed=0)
+        assert len(p1.switches) == len(p2.switches) == 4
+        assert not set(p1.switches) & set(p2.switches)
+        assert dyn.utilization == pytest.approx(0.5)
+
+    def test_submit_duplicate_name_rejected(self, dyn):
+        dyn.submit(app("a"), seed=0)
+        with pytest.raises(ValueError, match="already resident"):
+            dyn.submit(app("a"), seed=0)
+
+    def test_submit_overflow_rejected(self, dyn):
+        for name in "abcd":
+            dyn.submit(app(name), seed=0)
+        with pytest.raises(ValueError, match="free"):
+            dyn.submit(app("e"), seed=0)
+
+    def test_indivisible_processes_rejected(self, dyn):
+        with pytest.raises(ValueError, match="multiple"):
+            dyn.submit(LogicalCluster("odd", 6), seed=0)
+
+    def test_remove_frees_switches(self, dyn):
+        p = dyn.submit(app("a"), seed=0)
+        dyn.remove("a")
+        assert dyn.utilization == 0.0
+        assert set(p.switches).issubset(dyn.free_switches)
+
+    def test_remove_unknown_rejected(self, dyn):
+        with pytest.raises(KeyError):
+            dyn.remove("ghost")
+
+    def test_resubmit_after_remove(self, dyn):
+        dyn.submit(app("a"), seed=0)
+        dyn.remove("a")
+        dyn.submit(app("a"), seed=0)
+        assert "a" in dyn.placements
+
+    def test_full_machine(self, dyn):
+        for name in "abcd":
+            dyn.submit(app(name), seed=0)
+        assert dyn.utilization == 1.0
+        assert dyn.free_switches == []
+
+    def test_single_switch_app(self, dyn):
+        p = dyn.submit(app("tiny", switches=1), seed=0)
+        assert len(p.switches) == 1
+        assert p.local_cost == 0.0
+
+
+class TestPlacementQuality:
+    def test_first_arrival_is_compact(self, topo16, dyn):
+        """On an empty machine the first placement should be near the
+        quality of the static scheduler's per-cluster placement."""
+        p = dyn.submit(app("a"), seed=0)
+        # Compare local cost against random 4-subsets.
+        import numpy as np
+
+        from repro.core.quality import QualityEvaluator
+
+        ev = QualityEvaluator(dyn.scheduler.table)
+        rng = np.random.default_rng(0)
+        random_costs = []
+        for _ in range(200):
+            subset = rng.choice(16, size=4, replace=False)
+            random_costs.append(
+                float(ev.sq[np.ix_(subset, subset)].sum() / 2.0)
+            )
+        assert p.local_cost <= min(random_costs) * 1.05
+
+    def test_sequential_fill_reasonable(self, dyn, scheduler16, workload16):
+        """Filling the machine app-by-app is worse than the static optimum
+        (the last arrival gets the leftovers) but clearly better than
+        random placement (F_G ~ 1)."""
+        for name in "abcd":
+            dyn.submit(app(name), seed=0)
+        online = dyn.scores()["F_G"]
+        static = scheduler16.schedule(workload16, seed=0).f_g
+        assert static <= online < 0.8
+
+    def test_current_partition_consistent(self, dyn):
+        dyn.submit(app("a"), seed=0)
+        dyn.submit(app("b"), seed=0)
+        part = dyn.current_partition()
+        assert part.sizes() == [4, 4]
+        assert set(part.clusters()[0]) == set(dyn.placements["a"].switches)
+
+
+class TestRebalance:
+    def test_rebalance_improves_after_churn(self, dyn):
+        # Create fragmentation: fill, remove two non-adjacent apps, refill.
+        for name in "abcd":
+            dyn.submit(app(name), seed=0)
+        dyn.remove("b")
+        dyn.remove("d")
+        dyn.submit(app("e", switches=8), seed=0)  # forced onto fragments
+        out = dyn.rebalance(seed=1)
+        assert out["optimized_f_g"] <= out["incumbent_f_g"] + 1e-12
+        assert out["improvement"] >= -1e-12
+
+    def test_rebalance_empty_rejected(self, dyn):
+        with pytest.raises(ValueError, match="nothing to rebalance"):
+            dyn.rebalance()
+
+    def test_apply_rebalance_updates_scores(self, dyn):
+        for name in "abcd":
+            dyn.submit(app(name), seed=0)
+        dyn.remove("a")
+        dyn.submit(app("e"), seed=3)
+        out = dyn.rebalance(seed=1)
+        dyn.apply_rebalance(out["partition"])
+        assert dyn.scores()["F_G"] == pytest.approx(out["optimized_f_g"])
+        # Ownership stays a partition: every switch owned exactly once.
+        owned = [s for p in dyn.placements.values() for s in p.switches]
+        assert len(owned) == len(set(owned)) == 16
+
+    def test_apply_rebalance_validates_sizes(self, dyn):
+        dyn.submit(app("a"), seed=0)
+        dyn.submit(app("b"), seed=0)
+        from repro.core.mapping import random_partition
+
+        wrong = random_partition([2, 6], 16, seed=0)
+        with pytest.raises(ValueError, match="size mismatch"):
+            dyn.apply_rebalance(wrong)
+
+
+class TestConstruction:
+    def test_shared_scheduler(self, topo16):
+        base = CommunicationAwareScheduler(topo16)
+        dyn = DynamicScheduler(topo16, scheduler=base)
+        assert dyn.scheduler is base
+
+    def test_topology_mismatch_rejected(self, topo16):
+        other = random_irregular_topology(16, seed=999)
+        base = CommunicationAwareScheduler(other)
+        with pytest.raises(ValueError, match="different topology"):
+            DynamicScheduler(topo16, scheduler=base)
+
+    def test_deterministic(self, topo16):
+        def run():
+            d = DynamicScheduler(topo16)
+            d.submit(app("a"), seed=5)
+            d.submit(app("b"), seed=5)
+            return tuple(sorted(
+                (n, p.switches) for n, p in d.placements.items()
+            ))
+
+        assert run() == run()

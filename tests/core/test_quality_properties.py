@@ -1,0 +1,92 @@
+"""Property-based tests for the quality functions (hypothesis)."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.mapping import Partition, random_partition
+from repro.core.quality import QualityEvaluator
+
+
+@st.composite
+def tables_and_partitions(draw):
+    """A random symmetric distance table plus a fixed-size partition."""
+    n = draw(st.sampled_from([6, 8, 10, 12]))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    t = rng.uniform(0.5, 5.0, size=(n, n))
+    t = 0.5 * (t + t.T)
+    np.fill_diagonal(t, 0.0)
+    m = draw(st.sampled_from([2, 3]))
+    size = n // m
+    assume(size >= 2)
+    sizes = [size] * m
+    part = random_partition(sizes, n, seed=draw(st.integers(0, 10_000)))
+    return t, part
+
+
+@given(tables_and_partitions())
+@settings(max_examples=60, deadline=None)
+def test_quality_functions_positive(tp):
+    t, part = tp
+    ev = QualityEvaluator(t)
+    assert ev.similarity(part) > 0
+    assert ev.dissimilarity(part) > 0
+    assert ev.clustering_coefficient(part) > 0
+
+
+@given(tables_and_partitions())
+@settings(max_examples=60, deadline=None)
+def test_similarity_plus_dissimilarity_conservation(tp):
+    """Raw intra + inter sums account for every off-diagonal entry once
+    (intra pairs once each, inter ordered pairs once each)."""
+    t, part = tp
+    ev = QualityEvaluator(t)
+    sq = np.asarray(t) ** 2
+    if (part.labels >= 0).all():
+        total = ev.intracluster_sum(part) * 2 + ev.intercluster_sum(part)
+        assert np.isclose(total, sq.sum())
+
+
+@given(tables_and_partitions())
+@settings(max_examples=40, deadline=None)
+def test_scaling_invariance_of_normalized_functions(tp):
+    """F_G, D_G and C_c are invariant under uniform distance scaling."""
+    t, part = tp
+    ev1 = QualityEvaluator(t)
+    ev2 = QualityEvaluator(3.7 * np.asarray(t))
+    assert np.isclose(ev1.similarity(part), ev2.similarity(part))
+    assert np.isclose(ev1.dissimilarity(part), ev2.dissimilarity(part))
+    assert np.isclose(
+        ev1.clustering_coefficient(part), ev2.clustering_coefficient(part)
+    )
+
+
+@given(tables_and_partitions(), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_swap_delta_agrees_with_full_recompute(tp, seed):
+    t, part = tp
+    ev = QualityEvaluator(t)
+    labels = np.array(part.labels)
+    g = ev.cluster_load_matrix(part)
+    rng = np.random.default_rng(seed)
+    n = labels.size
+    a, b = rng.integers(0, n, size=2)
+    assume(labels[a] >= 0 and labels[b] >= 0 and labels[a] != labels[b])
+    delta = ev.swap_delta_raw(labels, g, int(a), int(b))
+    before = ev.intracluster_sum(Partition(labels))
+    after = ev.intracluster_sum(part.with_swap(int(a), int(b)))
+    assert np.isclose(before + delta, after)
+
+
+@given(tables_and_partitions())
+@settings(max_examples=40, deadline=None)
+def test_expected_f_g_of_random_partition_is_one(tp):
+    """Averaged over many random partitions of the same sizes, F_G -> 1."""
+    t, part = tp
+    ev = QualityEvaluator(t)
+    sizes = part.sizes()
+    n = part.num_switches
+    vals = [
+        ev.similarity(random_partition(sizes, n, seed=s)) for s in range(120)
+    ]
+    assert abs(float(np.mean(vals)) - 1.0) < 0.12

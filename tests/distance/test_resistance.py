@@ -1,0 +1,97 @@
+"""Tests for equivalent-resistance computation against closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.distance.resistance import equivalent_resistance, resistance_matrix
+
+
+class TestEquivalentResistance:
+    def test_single_link(self):
+        assert equivalent_resistance([(0, 1)], 0, 1) == pytest.approx(1.0)
+
+    def test_series(self):
+        links = [(0, 1), (1, 2), (2, 3)]
+        assert equivalent_resistance(links, 0, 3) == pytest.approx(3.0)
+
+    def test_parallel(self):
+        # Two disjoint 2-hop paths between 0 and 3: 2 || 2 = 1.
+        links = [(0, 1), (1, 3), (0, 2), (2, 3)]
+        assert equivalent_resistance(links, 0, 3) == pytest.approx(1.0)
+
+    def test_triangle(self):
+        # Triangle: direct edge in parallel with two in series: 1 || 2 = 2/3.
+        links = [(0, 1), (1, 2), (0, 2)]
+        assert equivalent_resistance(links, 0, 2) == pytest.approx(2.0 / 3.0)
+
+    def test_wheatstone_balanced(self):
+        # Balanced bridge: the bridge edge carries no current -> R = 1.
+        links = [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)]
+        assert equivalent_resistance(links, 0, 3) == pytest.approx(1.0)
+
+    def test_complete_graph_k4(self):
+        # K_n between adjacent nodes: R = 2/n.
+        links = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        assert equivalent_resistance(links, 0, 1) == pytest.approx(0.5)
+
+    def test_same_node_zero(self):
+        assert equivalent_resistance([(0, 1)], 1, 1) == 0.0
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValueError, match="not connected"):
+            equivalent_resistance([(0, 1), (2, 3)], 0, 3)
+
+    def test_arbitrary_labels(self):
+        links = [(10, 20), (20, 30)]
+        assert equivalent_resistance(links, 10, 30) == pytest.approx(2.0)
+
+    def test_other_component_ignored(self):
+        links = [(0, 1), (5, 6), (6, 7)]
+        assert equivalent_resistance(links, 0, 1) == pytest.approx(1.0)
+
+    def test_bounded_by_shortest_path(self):
+        # Resistance never exceeds the length of any single path.
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            n = 8
+            links = {(0, 1), (1, 2), (2, 3)}  # guaranteed 0-3 path, length 3
+            for _ in range(8):
+                u, v = rng.integers(0, n, size=2)
+                if u != v:
+                    links.add((min(u, v), max(u, v)))
+            r = equivalent_resistance(sorted(links), 0, 3)
+            assert 0 < r <= 3.0 + 1e-9
+
+
+class TestResistanceMatrix:
+    def test_matches_pairwise(self):
+        links = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        m = resistance_matrix(4, links)
+        for i in range(4):
+            for j in range(4):
+                if i == j:
+                    assert m[i, j] == 0
+                else:
+                    assert m[i, j] == pytest.approx(
+                        equivalent_resistance(links, i, j)
+                    )
+
+    def test_symmetric(self):
+        links = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        m = resistance_matrix(4, links)
+        assert np.allclose(m, m.T)
+
+    def test_disconnected_inf(self):
+        m = resistance_matrix(4, [(0, 1), (2, 3)])
+        assert np.isinf(m[0, 2]) and np.isinf(m[1, 3])
+        assert m[0, 1] == pytest.approx(1.0)
+
+    def test_resistance_is_metric(self):
+        # Unlike the paper's per-pair-subnetwork table, whole-graph
+        # effective resistance IS a metric — a nice contrast check.
+        links = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]
+        m = resistance_matrix(5, links)
+        for i in range(5):
+            for j in range(5):
+                for k in range(5):
+                    assert m[i, k] <= m[i, j] + m[j, k] + 1e-9

@@ -1,0 +1,64 @@
+"""Tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentSetup,
+    paper_16switch_setup,
+    paper_24switch_setup,
+)
+from repro.simulation.config import SimulationConfig
+
+QUICK = SimulationConfig(warmup_cycles=100, measure_cycles=400, seed=5)
+
+
+@pytest.fixture(scope="module")
+def setup16():
+    return paper_16switch_setup()
+
+
+@pytest.fixture(scope="module")
+def setup24():
+    return paper_24switch_setup()
+
+
+class TestSetups:
+    def test_16_shape(self, setup16):
+        assert setup16.topology.num_switches == 16
+        assert setup16.topology.num_hosts == 64
+        assert setup16.workload.num_clusters == 4
+        assert setup16.workload.total_processes == 64
+
+    def test_24_shape(self, setup24):
+        assert setup24.topology.num_switches == 24
+        assert setup24.topology.num_hosts == 96
+        assert setup24.workload.total_processes == 96
+
+    def test_op_mapping_beats_randoms(self, setup16):
+        op = setup16.op_mapping()
+        randoms = setup16.random_mappings(5)
+        assert op.name == "OP"
+        assert all(op.c_c > r.c_c for r in randoms)
+        assert all(op.f_g < r.f_g for r in randoms)
+
+    def test_random_mappings_distinct(self, setup16):
+        randoms = setup16.random_mappings(6)
+        keys = {r.partition.canonical_key() for r in randoms}
+        assert len(keys) == 6
+        assert [r.name for r in randoms] == [f"R{i}" for i in range(1, 7)]
+
+    def test_random_mappings_reproducible(self, setup16):
+        a = setup16.random_mappings(3)
+        b = setup16.random_mappings(3)
+        assert all(x.partition == y.partition for x, y in zip(a, b))
+
+    def test_sweep_runs(self, setup16):
+        op = setup16.op_mapping()
+        points = setup16.sweep(op, [0.005, 0.02], QUICK)
+        assert len(points) == 2
+        assert points[0].result.messages_completed > 0
+
+    def test_load_ladder_monotone(self, setup16):
+        rates = setup16.load_ladder(QUICK, n=5)
+        assert len(rates) == 5
+        assert all(a < b for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,84 @@
+"""Tests for the link-failure study."""
+
+import pytest
+
+from repro.experiments.common import paper_16switch_setup
+from repro.experiments.failures import (
+    FailureRow,
+    FailureStudyResult,
+    render_failure_study,
+    run_failure_study,
+)
+from repro.routing.updown import UpDownRouting
+from repro.topology.designed import star_topology
+
+
+@pytest.fixture(scope="module")
+def setup16():
+    return paper_16switch_setup()
+
+
+@pytest.fixture(scope="module")
+def study(setup16):
+    # Subset of links keeps the test quick; the bench does all of them.
+    return run_failure_study(setup16, links=setup16.topology.links[:8])
+
+
+class TestFailureStudy:
+    def test_one_row_per_link(self, study):
+        assert len(study.rows) == 8
+
+    def test_3regular_network_survives_single_failures(self, study):
+        # A 3-regular random connected graph is almost surely 2-edge-
+        # connected; our seeded topology is (verified here).
+        assert all(r.still_connected for r in study.rows)
+
+    def test_updown_reconnects_after_failure(self, setup16):
+        for link in setup16.topology.links[:8]:
+            failed = setup16.topology.without_link(*link)
+            if failed.is_connected():
+                r = UpDownRouting(failed)
+                d = r.distances()
+                assert (d >= 0).all()
+
+    def test_degradation_and_recovery(self, study):
+        # NOTE: C_c is a *relative* quality measure (intracluster vs
+        # intercluster bandwidth), so failing an intercluster link can
+        # RAISE the stale mapping's C_c even though absolute capacity
+        # dropped — no monotonicity is asserted on degradation.  What must
+        # hold: rescheduling never does worse than the stale mapping.
+        for r in study.survivable:
+            assert r.c_c_degraded > 0
+            assert r.c_c_rescheduled >= r.c_c_degraded - 1e-9
+        assert study.all_survivable_rescheduled_ok()
+
+    def test_disconnecting_failure_marked(self):
+        # Star topology: every link failure disconnects a leaf.
+        from repro.core.scheduler import CommunicationAwareScheduler
+        from repro.core.mapping import Workload
+        from repro.experiments.common import ExperimentSetup
+        from repro.routing.tables import RoutingTable
+
+        topo = star_topology(5)
+        sched = CommunicationAwareScheduler(topo)
+        setup = ExperimentSetup(
+            topology=topo,
+            scheduler=sched,
+            workload=Workload.uniform(2, 8),
+            routing_table=RoutingTable(sched.routing),
+            seed=1,
+        )
+        res = run_failure_study(setup, links=[(0, 1)])
+        assert not res.rows[0].still_connected
+        assert res.rows[0].c_c_degraded is None
+
+    def test_render(self, study):
+        out = render_failure_study(study)
+        assert "failure injection" in out
+        assert "survivable failures: 8/8" in out
+
+    def test_recovery_property(self):
+        row = FailureRow((0, 1), True, 4.0, 2.0, 3.0)
+        assert row.recovery == pytest.approx(1.0)
+        row2 = FailureRow((0, 1), False, 4.0, None, None)
+        assert row2.recovery is None

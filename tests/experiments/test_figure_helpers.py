@@ -1,0 +1,98 @@
+"""Unit tests for figure-driver helpers on synthetic data (no simulation)."""
+
+import pytest
+
+from repro.core.mapping import Partition, random_partition, partition_to_mapping
+from repro.experiments.common import MappingRecord
+from repro.experiments.fig3_sim16 import SimFigureResult, default_sim_config
+from repro.experiments.fig6_correlation import Fig6Result
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.sweep import LoadPoint
+from repro.util.stats import RunningStats
+
+
+def fake_result(accepted, latency):
+    rs = RunningStats()
+    rs.add(latency)
+    return SimulationResult(
+        offered_flits_per_switch_cycle=1.0,
+        accepted_flits_per_switch_cycle=accepted,
+        avg_latency=latency,
+        latency=rs,
+        total_latency=rs,
+        messages_completed=10,
+        messages_generated=12,
+        flits_consumed_measured=100,
+        cycles_measured=100,
+        warmup_cycles=10,
+    )
+
+
+def fake_record(name, c_c, topo16, workload16):
+    part = random_partition([4] * 4, 16, seed=hash(name) % 1000)
+    mapping = partition_to_mapping(part, workload16, topo16)
+    return MappingRecord(name, part, mapping, c_c, 1.0 / c_c, 1.0)
+
+
+@pytest.fixture
+def synthetic_fig(topo16, workload16):
+    op = fake_record("OP", 4.0, topo16, workload16)
+    r1 = fake_record("R1", 1.0, topo16, workload16)
+    r2 = fake_record("R2", 0.8, topo16, workload16)
+    rates = [0.01, 0.02]
+    sweeps = {
+        "OP": [LoadPoint(1, 0.01, fake_result(0.3, 20.0)),
+               LoadPoint(2, 0.02, fake_result(0.6, 25.0))],
+        "R1": [LoadPoint(1, 0.01, fake_result(0.28, 30.0)),
+               LoadPoint(2, 0.02, fake_result(0.35, 80.0))],
+        "R2": [LoadPoint(1, 0.01, fake_result(0.25, 40.0)),
+               LoadPoint(2, 0.02, fake_result(0.30, 120.0))],
+    }
+    return SimFigureResult(
+        figure="synthetic",
+        topology_name="t16",
+        mappings=[op, r1, r2],
+        rates=rates,
+        sweeps=sweeps,
+        saturation_throughput={"OP": 0.9, "R1": 0.4, "R2": 0.3},
+    )
+
+
+class TestSimFigureResult:
+    def test_record_accessors(self, synthetic_fig):
+        assert synthetic_fig.op_record.name == "OP"
+        assert [m.name for m in synthetic_fig.random_records] == ["R1", "R2"]
+
+    def test_ratio(self, synthetic_fig):
+        assert synthetic_fig.op_over_best_random == pytest.approx(0.9 / 0.4)
+
+    def test_default_config_values(self):
+        cfg = default_sim_config()
+        assert cfg.message_length == 16
+        assert cfg.buffer_flits == 2
+        assert cfg.measure_cycles >= 1000
+
+
+class TestFig6Result:
+    def test_window_means_skip_nan(self):
+        res = Fig6Result(
+            labels=[f"S{i}" for i in range(1, 10)],
+            c_c=[4.0, 1.0, 0.8],
+            mapping_names=["OP", "R1", "R2"],
+            corr_neg_latency=[0.5] * 9,
+            corr_accepted=[0.6] * 9,
+            corr_power=[float("nan"), 0.8, 0.9, 0.7] + [0.95] * 5,
+        )
+        # First window: nan skipped -> mean of (0.8, 0.9, 0.7).
+        assert res.low_load_power_corr() == pytest.approx(0.8)
+        assert res.saturation_power_corr() == pytest.approx(0.95)
+
+    def test_all_nan_window(self):
+        res = Fig6Result(
+            labels=["S1"], c_c=[1.0], mapping_names=["OP"],
+            corr_neg_latency=[0.0], corr_accepted=[0.0],
+            corr_power=[float("nan")],
+        )
+        import math
+
+        assert math.isnan(res.low_load_power_corr(points=1))

@@ -1,0 +1,39 @@
+"""Quick tests of the multi-topology survey driver."""
+
+import pytest
+
+from repro.experiments.survey import SurveyResult, SurveyRow, render_survey, run_survey
+from repro.simulation.config import SimulationConfig
+
+QUICK = SimulationConfig(warmup_cycles=120, measure_cycles=500, seed=5)
+
+
+@pytest.fixture(scope="module")
+def survey_result():
+    return run_survey(topology_seeds=(42, 77), num_random=3,
+                      num_points=5, config=QUICK)
+
+
+class TestSurvey:
+    def test_one_row_per_topology(self, survey_result):
+        assert len(survey_result.rows) == 2
+        names = {r.topology for r in survey_result.rows}
+        assert names == {"paper-16sw-t42", "paper-16sw-t77"}
+
+    def test_op_beats_random_everywhere(self, survey_result):
+        assert survey_result.min_ratio() > 1.0
+
+    def test_correlations_positive(self, survey_result):
+        assert survey_result.all_correlations_above(0.0)
+
+    def test_threshold_helper(self):
+        rows = [SurveyRow("a", 16, 4.0, 2.0, 0.8, 0.9),
+                SurveyRow("b", 16, 4.0, 2.0, 0.6, 0.9)]
+        res = SurveyResult(rows)
+        assert res.all_correlations_above(0.5)
+        assert not res.all_correlations_above(0.7)
+        assert res.min_ratio() == 2.0
+
+    def test_render(self, survey_result):
+        out = render_survey(survey_result)
+        assert "survey" in out and "corr low load" in out

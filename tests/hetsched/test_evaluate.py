@@ -1,0 +1,55 @@
+"""Tests for schedule metrics."""
+
+import numpy as np
+import pytest
+
+from repro.hetsched.evaluate import flowtime, machine_loads, makespan, utilization
+from repro.hetsched.heuristics import MachineSchedule, MinMin
+from repro.hetsched.workload import generate_etc
+
+
+@pytest.fixture
+def simple_schedule():
+    etc = np.array([[2.0, 9.0], [9.0, 3.0], [1.0, 9.0]])
+    assignment = np.array([0, 1, 0])
+    ready = np.array([3.0, 3.0])
+    return etc, MachineSchedule(assignment, ready, "manual")
+
+
+class TestMetrics:
+    def test_makespan(self, simple_schedule):
+        _etc, s = simple_schedule
+        assert makespan(s) == 3.0
+
+    def test_machine_loads(self, simple_schedule):
+        etc, s = simple_schedule
+        loads = machine_loads(s, etc)
+        assert loads.tolist() == [3.0, 3.0]
+
+    def test_flowtime(self, simple_schedule):
+        etc, s = simple_schedule
+        # Machine 0 runs tasks 0 (finish 2) then 2 (finish 3); machine 1
+        # runs task 1 (finish 3). Flowtime = 2 + 3 + 3.
+        assert flowtime(s, etc) == pytest.approx(8.0)
+
+    def test_utilization_perfect(self, simple_schedule):
+        etc, s = simple_schedule
+        assert utilization(s, etc) == pytest.approx(1.0)
+
+    def test_utilization_below_one_in_general(self):
+        etc = generate_etc(30, 6, seed=0)
+        s = MinMin().schedule(etc)
+        u = utilization(s, etc)
+        assert 0 < u <= 1.0
+
+    def test_validate_catches_corruption(self, simple_schedule):
+        etc, s = simple_schedule
+        s.ready[0] = 99.0
+        with pytest.raises(ValueError, match="inconsistent"):
+            s.validate(etc)
+
+    def test_validate_catches_bad_machine(self, simple_schedule):
+        etc, s = simple_schedule
+        s.assignment[0] = 5
+        with pytest.raises(ValueError):
+            s.validate(etc)

@@ -1,0 +1,69 @@
+"""Property-based tests for the computation-aware heuristics (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hetsched.evaluate import machine_loads, utilization
+from repro.hetsched.heuristics import HEURISTICS
+from repro.hetsched.workload import generate_etc
+
+
+@st.composite
+def etcs(draw):
+    tasks = draw(st.integers(1, 40))
+    machines = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 10_000))
+    consistency = draw(st.sampled_from(
+        ["consistent", "semiconsistent", "inconsistent"]
+    ))
+    return generate_etc(tasks, machines, seed=seed, consistency=consistency)
+
+
+@given(etcs())
+@settings(max_examples=40, deadline=None)
+def test_all_heuristics_produce_valid_schedules(etc):
+    for h in HEURISTICS.values():
+        s = h.schedule(etc)
+        s.validate(etc)
+
+
+@given(etcs())
+@settings(max_examples=40, deadline=None)
+def test_makespan_lower_bounds(etc):
+    """Makespan >= both classical lower bounds: the largest per-task best
+    time, and the perfectly-balanced best-case load."""
+    best_times = etc.min(axis=1)
+    lb_task = float(best_times.max())
+    lb_load = float(best_times.sum() / etc.shape[1])
+    lb = max(lb_task, lb_load)
+    for h in HEURISTICS.values():
+        assert h.schedule(etc).makespan >= lb - 1e-9, h.name
+
+
+@given(etcs())
+@settings(max_examples=40, deadline=None)
+def test_makespan_upper_bound(etc):
+    """Makespan <= running everything serially on one machine at its worst."""
+    ub = float(etc.max(axis=1).sum())
+    for h in HEURISTICS.values():
+        assert h.schedule(etc).makespan <= ub + 1e-9, h.name
+
+
+@given(etcs())
+@settings(max_examples=40, deadline=None)
+def test_loads_sum_to_total_work(etc):
+    for h in HEURISTICS.values():
+        s = h.schedule(etc)
+        loads = machine_loads(s, etc)
+        expected = sum(etc[t, s.assignment[t]] for t in range(etc.shape[0]))
+        assert np.isclose(loads.sum(), expected)
+        assert 0 < utilization(s, etc) <= 1.0 + 1e-9
+
+
+@given(etcs())
+@settings(max_examples=30, deadline=None)
+def test_duplex_dominates_minmax(etc):
+    duplex = HEURISTICS["duplex"].schedule(etc).makespan
+    minmin = HEURISTICS["minmin"].schedule(etc).makespan
+    maxmin = HEURISTICS["maxmin"].schedule(etc).makespan
+    assert duplex <= min(minmin, maxmin) + 1e-9

@@ -1,0 +1,122 @@
+"""Tests for the computation-aware mapping heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.hetsched.heuristics import (
+    HEURISTICS,
+    MCT,
+    MET,
+    OLB,
+    Duplex,
+    MaxMin,
+    MinMin,
+)
+from repro.hetsched.workload import generate_etc
+
+ALL = list(HEURISTICS.values())
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("h", ALL, ids=[h.name for h in ALL])
+    def test_schedule_is_valid(self, h):
+        etc = generate_etc(40, 8, seed=1)
+        s = h.schedule(etc)
+        s.validate(etc)
+        assert s.makespan > 0
+
+    @pytest.mark.parametrize("h", ALL, ids=[h.name for h in ALL])
+    def test_all_tasks_assigned(self, h):
+        etc = generate_etc(25, 5, seed=2)
+        s = h.schedule(etc)
+        assert s.assignment.shape == (25,)
+        assert set(s.tasks_of(0).tolist()).issubset(range(25))
+
+    @pytest.mark.parametrize("h", ALL, ids=[h.name for h in ALL])
+    def test_rejects_bad_etc(self, h):
+        with pytest.raises(ValueError):
+            h.schedule(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            h.schedule(np.ones(5))
+
+    @pytest.mark.parametrize("h", ALL, ids=[h.name for h in ALL])
+    def test_single_machine(self, h):
+        etc = generate_etc(10, 1, seed=3)
+        s = h.schedule(etc)
+        assert s.makespan == pytest.approx(etc[:, 0].sum())
+
+
+class TestSpecificBehaviour:
+    def test_met_picks_per_task_minimum(self):
+        etc = np.array([[1.0, 5.0], [4.0, 2.0]])
+        s = MET().schedule(etc)
+        assert s.assignment.tolist() == [0, 1]
+
+    def test_met_ignores_load(self):
+        # All tasks fastest on machine 0 -> MET piles them there.
+        etc = np.array([[1.0, 10.0]] * 5)
+        s = MET().schedule(etc)
+        assert (s.assignment == 0).all()
+
+    def test_olb_balances_counts(self):
+        etc = np.ones((10, 2))
+        s = OLB().schedule(etc)
+        assert sorted(np.bincount(s.assignment, minlength=2).tolist()) == [5, 5]
+
+    def test_mct_accounts_for_load(self):
+        # Task 0 fills machine 0; task 1 prefers machine 0 statically but
+        # completes sooner on the idle machine 1.
+        etc = np.array([[1.0, 100.0], [1.0, 1.5]])
+        s = MCT().schedule(etc)
+        assert s.assignment.tolist() == [0, 1]
+
+    def test_minmin_schedules_small_first(self):
+        etc = np.array([[10.0, 10.0], [1.0, 1.0]])
+        s = MinMin().schedule(etc)
+        s.validate(etc)
+        # The small task must not wait behind the big one on one machine.
+        assert s.assignment[0] != s.assignment[1]
+
+    def test_maxmin_prefers_large_first(self):
+        etc = np.array([[10.0, 12.0], [1.0, 1.2], [1.0, 1.1]])
+        s = MaxMin().schedule(etc)
+        s.validate(etc)
+        # Big task gets its best machine (0); small tasks distributed.
+        assert s.assignment[0] == 0
+
+    def test_duplex_no_worse_than_either(self):
+        etc = generate_etc(30, 6, seed=4)
+        d = Duplex().schedule(etc).makespan
+        mn = MinMin().schedule(etc).makespan
+        mx = MaxMin().schedule(etc).makespan
+        assert d <= min(mn, mx) + 1e-9
+
+    def test_mct_no_worse_than_olb_usually(self):
+        # Over many instances, MCT (load + ETC aware) should dominate OLB
+        # (load only) on average.
+        wins = 0
+        for seed in range(20):
+            etc = generate_etc(50, 8, seed=seed)
+            if MCT().schedule(etc).makespan <= OLB().schedule(etc).makespan:
+                wins += 1
+        assert wins >= 15
+
+    def test_minmin_beats_met_on_consistent(self):
+        # On consistent ETCs MET collapses onto the uniformly fastest
+        # machine; Min-min should be far better on average.
+        total_minmin, total_met = 0.0, 0.0
+        for seed in range(10):
+            etc = generate_etc(40, 8, consistency="consistent", seed=seed)
+            total_minmin += MinMin().schedule(etc).makespan
+            total_met += MET().schedule(etc).makespan
+        assert total_minmin < total_met
+
+
+class TestRegistry:
+    def test_all_present(self):
+        assert set(HEURISTICS) == {"olb", "met", "mct", "minmin", "maxmin",
+                                   "duplex"}
+
+    def test_names_match(self):
+        for name, h in HEURISTICS.items():
+            assert h.name == name

@@ -1,0 +1,71 @@
+"""Tests for the integrated bottleneck-driven strategy selector."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import Workload
+from repro.hetsched.integrated import IntegratedScheduler
+from repro.hetsched.workload import generate_etc
+
+
+@pytest.fixture
+def integrated(topo16):
+    return IntegratedScheduler(topo16)
+
+
+@pytest.fixture
+def etc64():
+    return generate_etc(64, 64, seed=0)
+
+
+class TestBottleneckEstimate:
+    def test_zero_comm_picks_computation(self, integrated, workload16, etc64):
+        est = integrated.estimate_bottleneck(workload16, etc64, 0.0)
+        assert est.bottleneck == "computation"
+        assert est.comm_pressure == 0.0
+
+    def test_huge_comm_picks_communication(self, integrated, workload16, etc64):
+        est = integrated.estimate_bottleneck(workload16, etc64, 1.0)
+        assert est.bottleneck == "communication"
+        assert est.comm_pressure > est.comp_pressure
+
+    def test_capacity_positive(self, integrated, workload16, etc64):
+        est = integrated.estimate_bottleneck(workload16, etc64, 0.1)
+        assert est.comm_capacity_flits_per_switch > 0
+
+    def test_negative_rate_rejected(self, integrated, workload16, etc64):
+        with pytest.raises(ValueError):
+            integrated.estimate_bottleneck(workload16, etc64, -0.1)
+
+    def test_summary_string(self, integrated, workload16, etc64):
+        est = integrated.estimate_bottleneck(workload16, etc64, 0.1)
+        assert "->" in est.summary()
+
+
+class TestSchedule:
+    def test_communication_path(self, integrated, workload16, etc64):
+        res = integrated.schedule(workload16, etc64, 1.0, seed=1)
+        assert res.strategy == "communication"
+        assert res.comm_result is not None
+        assert res.comm_result.partition.sizes() == [4, 4, 4, 4]
+
+    def test_computation_path(self, integrated, workload16, etc64):
+        res = integrated.schedule(workload16, etc64, 0.0, seed=1)
+        assert res.strategy == "computation"
+        assert res.comp_result is not None
+        assert res.comp_result.makespan > 0
+
+    def test_threshold_moves_decision(self, topo16, workload16, etc64):
+        # Find a rate where the default threshold picks computation but a
+        # tiny threshold flips to communication.
+        lo = IntegratedScheduler(topo16, threshold=1e-6)
+        hi = IntegratedScheduler(topo16, threshold=1e6)
+        rate = 0.05
+        assert lo.estimate_bottleneck(workload16, etc64, rate).bottleneck == \
+            "communication"
+        assert hi.estimate_bottleneck(workload16, etc64, rate).bottleneck == \
+            "computation"
+
+    def test_invalid_threshold(self, topo16):
+        with pytest.raises(ValueError):
+            IntegratedScheduler(topo16, threshold=0)

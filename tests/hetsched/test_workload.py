@@ -1,0 +1,54 @@
+"""Tests for ETC matrix generation."""
+
+import numpy as np
+import pytest
+
+from repro.hetsched.workload import EtcConsistency, generate_etc
+
+
+class TestGenerateEtc:
+    def test_shape_and_positivity(self):
+        etc = generate_etc(20, 8, seed=0)
+        assert etc.shape == (20, 8)
+        assert (etc > 0).all()
+
+    def test_reproducible(self):
+        a = generate_etc(10, 4, seed=7)
+        b = generate_etc(10, 4, seed=7)
+        assert np.allclose(a, b)
+
+    def test_consistent_rows_sorted(self):
+        etc = generate_etc(30, 6, consistency="consistent", seed=1)
+        assert (np.diff(etc, axis=1) >= 0).all()
+
+    def test_inconsistent_rows_not_sorted(self):
+        etc = generate_etc(30, 6, consistency="inconsistent", seed=1)
+        assert not (np.diff(etc, axis=1) >= 0).all()
+
+    def test_semiconsistent_even_columns_sorted(self):
+        etc = generate_etc(30, 8, consistency="semiconsistent", seed=2)
+        even = etc[:, 0::2]
+        assert (np.diff(even, axis=1) >= 0).all()
+
+    def test_heterogeneity_scales_spread(self):
+        low = generate_etc(200, 4, task_heterogeneity=2, seed=3)
+        high = generate_etc(200, 4, task_heterogeneity=1000, seed=3)
+        assert high.std() > low.std()
+
+    def test_enum_accepted(self):
+        etc = generate_etc(5, 3, consistency=EtcConsistency.CONSISTENT, seed=0)
+        assert (np.diff(etc, axis=1) >= 0).all()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_tasks": 0, "num_machines": 4},
+        {"num_tasks": 4, "num_machines": 0},
+        {"num_tasks": 4, "num_machines": 4, "task_heterogeneity": 0.5},
+        {"num_tasks": 4, "num_machines": 4, "machine_heterogeneity": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            generate_etc(**kwargs)
+
+    def test_unknown_consistency_rejected(self):
+        with pytest.raises(ValueError):
+            generate_etc(4, 4, consistency="bogus")

@@ -1,0 +1,68 @@
+"""Channel-dependency-graph deadlock analysis tests.
+
+The central safety property of the simulator configuration: up*/down* is
+deadlock-free on every topology, while unrestricted minimal routing on
+cyclic topologies is not.
+"""
+
+import pytest
+
+from repro.routing.deadlock import channel_dependency_graph, is_deadlock_free
+from repro.routing.minimal import MinimalRouting
+from repro.routing.updown import UpDownRouting
+from repro.topology.designed import (
+    binary_tree_topology,
+    four_rings_topology,
+    ring_topology,
+    torus_topology,
+)
+from repro.topology.irregular import random_irregular_topology
+
+
+class TestUpDownDeadlockFree:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_irregular(self, seed):
+        topo = random_irregular_topology(12, seed=seed)
+        assert is_deadlock_free(UpDownRouting(topo))
+
+    def test_four_rings(self):
+        assert is_deadlock_free(UpDownRouting(four_rings_topology()))
+
+    def test_ring(self):
+        assert is_deadlock_free(UpDownRouting(ring_topology(8)))
+
+    def test_any_root(self):
+        topo = random_irregular_topology(10, seed=3)
+        for root in range(topo.num_switches):
+            assert is_deadlock_free(UpDownRouting(topo, root=root))
+
+
+class TestMinimalNotDeadlockFree:
+    def test_ring_cycles(self):
+        # All-minimal routing on an even ring creates a channel cycle.
+        assert not is_deadlock_free(MinimalRouting(ring_topology(6)))
+
+    def test_torus_cycles(self):
+        assert not is_deadlock_free(MinimalRouting(torus_topology(3, 3)))
+
+    def test_tree_is_safe(self):
+        # No cycles in the topology => no cycles in the CDG.
+        assert is_deadlock_free(MinimalRouting(binary_tree_topology(3)))
+
+
+class TestCdgStructure:
+    def test_nodes_are_directed_channels(self, topo16, routing16):
+        deps = channel_dependency_graph(routing16)
+        assert len(deps) == 2 * topo16.num_links
+        for (u, v), succs in deps.items():
+            assert topo16.has_link(u, v)
+            for (a, b) in succs:
+                assert a == v, "dependency must continue from the channel head"
+
+    def test_updown_no_down_to_up_dependency(self, routing16):
+        deps = channel_dependency_graph(routing16)
+        for (u, v), succs in deps.items():
+            if not routing16.is_up(u, v):      # arriving on a down channel
+                for (a, b) in succs:
+                    assert not routing16.is_up(a, b), \
+                        "down->up dependency violates up*/down*"

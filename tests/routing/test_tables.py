@@ -1,0 +1,31 @@
+"""Tests for precomputed routing tables."""
+
+from repro.routing.base import Phase
+from repro.routing.minimal import MinimalRouting
+from repro.routing.tables import RoutingTable, build_routing_table
+
+
+class TestRoutingTable:
+    def test_matches_live_routing(self, routing16):
+        table = RoutingTable(routing16)
+        for dst in range(16):
+            for src in range(16):
+                for phase in (Phase.UP, Phase.DOWN):
+                    assert table.hops(src, phase, dst) == \
+                        routing16.next_hops(src, phase, dst)
+
+    def test_path_length(self, routing16):
+        table = RoutingTable(routing16)
+        d = routing16.distances()
+        assert table.path_length(0, 5) == d[0, 5]
+
+    def test_builder_function(self, routing16):
+        t = build_routing_table(routing16)
+        assert isinstance(t, RoutingTable)
+        assert t.routing is routing16
+
+    def test_minimal_routing_table(self, topo16):
+        r = MinimalRouting(topo16)
+        table = RoutingTable(r)
+        hops = table.hops(0, Phase.UP, 1)
+        assert hops == r.next_hops(0, Phase.UP, 1)

@@ -1,0 +1,164 @@
+"""Tests for SA, GA, GSA, A* and random search."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import random_partition
+from repro.search.annealing import SimulatedAnnealing
+from repro.search.astar import AStarSearch
+from repro.search.base import SimilarityObjective
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.genetic import GeneticAlgorithm, decode_permutation, order_crossover
+from repro.search.gsa import GeneticSimulatedAnnealing
+from repro.search.random_search import RandomSearch
+
+
+@pytest.fixture
+def objective8(table8):
+    return SimilarityObjective(table8, [4, 4])
+
+
+@pytest.fixture
+def planted_objective():
+    """6 nodes in two obvious blocks of 3."""
+    t = np.full((6, 6), 10.0)
+    for block in ((0, 1, 2), (3, 4, 5)):
+        for i in block:
+            for j in block:
+                t[i, j] = 1.0
+    np.fill_diagonal(t, 0.0)
+    return SimilarityObjective(t, [3, 3])
+
+
+class TestParamValidation:
+    def test_sa_params(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(iterations=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(cooling=1.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(steps_per_temperature=0)
+
+    def test_ga_params(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(population=1)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(generations=0)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(mutation_rate=1.5)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(elite=100, population=10)
+
+    def test_gsa_params(self):
+        with pytest.raises(ValueError):
+            GeneticSimulatedAnnealing(initial_temperature=0)
+        with pytest.raises(ValueError):
+            GeneticSimulatedAnnealing(cooling=0)
+
+    def test_astar_params(self):
+        with pytest.raises(ValueError):
+            AStarSearch(max_expansions=0)
+
+    def test_random_params(self):
+        with pytest.raises(ValueError):
+            RandomSearch(samples=0)
+
+
+@pytest.mark.parametrize("method", [
+    SimulatedAnnealing(iterations=800),
+    GeneticAlgorithm(population=24, generations=30),
+    GeneticSimulatedAnnealing(population=12, generations=40),
+    AStarSearch(),
+    RandomSearch(samples=300),
+])
+class TestAllMethodsOnPlanted:
+    def test_finds_planted_blocks(self, method, planted_objective):
+        res = method.run(planted_objective, seed=0)
+        assert set(res.best_partition.clusters()) == {(0, 1, 2), (3, 4, 5)}
+
+    def test_deterministic(self, method, planted_objective):
+        a = method.run(planted_objective, seed=3)
+        b = method.run(planted_objective, seed=3)
+        assert a.best_value == b.best_value
+        assert a.best_partition == b.best_partition
+
+    def test_result_consistent(self, method, planted_objective):
+        res = method.run(planted_objective, seed=1)
+        assert planted_objective.value(res.best_partition) == pytest.approx(
+            res.best_value
+        )
+
+
+class TestAgainstExhaustive:
+    """On the 8-switch instance every serious heuristic should be optimal
+    or near-optimal (within 10 %)."""
+
+    @pytest.fixture(scope="class")
+    def exact_value(self, table8):
+        obj = SimilarityObjective(table8, [4, 4])
+        return ExhaustiveSearch().run(obj).best_value
+
+    @pytest.mark.parametrize("method,slack", [
+        (SimulatedAnnealing(iterations=2000), 1.10),
+        (GeneticAlgorithm(population=40, generations=50), 1.10),
+        (GeneticSimulatedAnnealing(population=16, generations=60), 1.10),
+        (AStarSearch(), 1.0000001),   # exact within its budget
+        (RandomSearch(samples=35 * 20), 1.0000001),  # covers the whole space whp
+    ])
+    def test_near_optimal(self, method, slack, objective8, exact_value):
+        res = method.run(objective8, seed=0)
+        assert res.best_value <= exact_value * slack + 1e-12
+
+    def test_astar_reports_optimal(self, objective8, exact_value):
+        res = AStarSearch().run(objective8, seed=0)
+        assert res.optimal is True
+        assert res.best_value == pytest.approx(exact_value)
+
+
+class TestGeneticMachinery:
+    def test_decode_permutation(self):
+        perm = np.array([3, 1, 0, 2])
+        p = decode_permutation(perm, [2, 2], 4)
+        assert p.clusters() == [(1, 3), (0, 2)]
+
+    def test_decode_partial(self):
+        perm = np.array([3, 1])
+        p = decode_permutation(perm, [2], 5)
+        assert p.clusters() == [(1, 3)]
+        assert (p.labels == -1).sum() == 3
+
+    def test_order_crossover_is_permutation(self):
+        rng = np.random.default_rng(0)
+        p1 = np.array([0, 1, 2, 3, 4, 5])
+        p2 = np.array([5, 4, 3, 2, 1, 0])
+        for _ in range(20):
+            child = order_crossover(p1, p2, rng)
+            assert sorted(child.tolist()) == list(range(6))
+
+    def test_warm_start_ga(self, objective8):
+        init = random_partition([4, 4], 8, seed=5)
+        res = GeneticAlgorithm(population=10, generations=5).run(
+            objective8, seed=0, initial=init
+        )
+        assert res.best_value <= objective8.value(init) + 1e-12
+
+
+class TestAStarBudget:
+    def test_budget_fallback_feasible(self, table16):
+        obj = SimilarityObjective(table16, [4, 4, 4, 4])
+        res = AStarSearch(max_expansions=50).run(obj, seed=0)
+        assert res.optimal is False
+        assert res.best_partition.sizes() == [4, 4, 4, 4]
+        assert obj.value(res.best_partition) == pytest.approx(res.best_value)
+
+
+class TestRandomSearch:
+    def test_monotone_improvement_with_samples(self, objective8):
+        small = RandomSearch(samples=5).run(objective8, seed=0)
+        large = RandomSearch(samples=200).run(objective8, seed=0)
+        assert large.best_value <= small.best_value
+
+    def test_initial_counts(self, objective8):
+        init = random_partition([4, 4], 8, seed=2)
+        res = RandomSearch(samples=1).run(objective8, seed=0, initial=init)
+        assert res.best_value <= objective8.value(init) + 1e-12

@@ -1,0 +1,49 @@
+"""Property-based tests across search methods (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.search.annealing import SimulatedAnnealing
+from repro.search.base import SimilarityObjective
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.tabu import TabuSearch
+
+
+@st.composite
+def small_objectives(draw):
+    n = draw(st.sampled_from([4, 6, 8]))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    t = rng.uniform(0.5, 4.0, size=(n, n))
+    t = 0.5 * (t + t.T)
+    np.fill_diagonal(t, 0.0)
+    sizes = [n // 2, n // 2]
+    return SimilarityObjective(t, sizes)
+
+
+@given(small_objectives(), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_tabu_matches_exhaustive_on_small_instances(obj, seed):
+    """The paper's claim, as a property: Tabu == exhaustive for small N."""
+    exact = ExhaustiveSearch().run(obj)
+    tabu = TabuSearch().run(obj, seed=seed)
+    assert tabu.best_value <= exact.best_value * 1.0 + 1e-9
+
+
+@given(small_objectives(), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_search_results_always_feasible(obj, seed):
+    for method in (TabuSearch(restarts=3),
+                   SimulatedAnnealing(iterations=200)):
+        res = method.run(obj, seed=seed)
+        assert res.best_partition.sizes() == obj.sizes
+        assert np.isfinite(res.best_value)
+        assert obj.value(res.best_partition) <= res.best_value + 1e-9
+
+
+@given(small_objectives(), st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_tabu_best_never_worse_than_first_sample(obj, seed):
+    res = TabuSearch(restarts=2).run(obj, seed=seed)
+    assert res.best_value <= res.trace[0] + 1e-12
+    assert res.best_value <= min(res.trace) + 1e-12

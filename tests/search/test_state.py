@@ -1,0 +1,124 @@
+"""Tests for the incremental PartitionState."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import Partition, random_partition
+from repro.core.quality import QualityEvaluator
+from repro.search.base import SimilarityObjective
+from repro.search.state import PartitionState
+
+
+@pytest.fixture
+def objective(table16):
+    return SimilarityObjective(table16, [4, 4, 4, 4])
+
+
+class TestState:
+    def test_value_matches_evaluator(self, table16, objective):
+        state = objective.random_state(seed=0)
+        ev = QualityEvaluator(table16)
+        assert state.value() == pytest.approx(ev.similarity(state.partition()))
+
+    def test_singleton_clusters_rejected(self, table16):
+        ev = QualityEvaluator(table16)
+        with pytest.raises(ValueError, match="no intracluster pairs"):
+            PartitionState(ev, Partition(list(range(16))))
+
+    def test_swap_delta_matches_apply(self, objective):
+        state = objective.random_state(seed=1)
+        v0 = state.value()
+        pairs = list(state.candidate_swaps())
+        a, b = pairs[5]
+        delta = state.swap_delta(a, b)
+        state.apply_swap(a, b)
+        assert state.value() == pytest.approx(v0 + delta)
+
+    def test_swap_is_involution(self, objective):
+        state = objective.random_state(seed=2)
+        key0 = state.partition().canonical_key()
+        v0 = state.value()
+        a, b = next(iter(state.candidate_swaps()))
+        state.apply_swap(a, b)
+        state.apply_swap(a, b)
+        assert state.partition().canonical_key() == key0
+        assert state.value() == pytest.approx(v0)
+
+    def test_candidate_swaps_cross_cluster_only(self, objective):
+        state = objective.random_state(seed=3)
+        for a, b in state.candidate_swaps():
+            assert state.labels[a] != state.labels[b]
+
+    def test_candidate_count(self, objective):
+        state = objective.random_state(seed=4)
+        count = sum(1 for _ in state.candidate_swaps())
+        # C(16,2) - 4*C(4,2) = 120 - 24 = 96
+        assert count == 96
+
+    def test_best_swap_is_minimal(self, objective):
+        state = objective.random_state(seed=5)
+        pair, delta = state.best_swap()
+        assert pair is not None
+        deltas = [state.swap_delta(a, b) for a, b in state.candidate_swaps()]
+        assert delta == pytest.approx(min(deltas))
+
+    def test_best_swap_respects_forbidden(self, objective):
+        state = objective.random_state(seed=6)
+        pair, _ = state.best_swap()
+        forbidden = {pair}
+        pair2, _ = state.best_swap(forbidden, aspiration_below=float("-inf"))
+        assert pair2 != pair
+
+    def test_aspiration_overrides_tabu(self, objective):
+        state = objective.random_state(seed=7)
+        pair, delta = state.best_swap()
+        assert delta < 0  # random start: improving swaps exist
+        # With aspiration below current+delta+margin the tabu is overridden.
+        target = state.value() + delta + 1e-9
+        pair2, delta2 = state.best_swap({pair}, aspiration_below=target)
+        assert pair2 == pair
+
+    def test_copy_independent(self, objective):
+        state = objective.random_state(seed=8)
+        clone = state.copy()
+        before = clone.partition().canonical_key()
+        a, b = next(iter(state.candidate_swaps()))
+        state.apply_swap(a, b)
+        # Clone unaffected by the mutation of the original.
+        assert clone.partition().canonical_key() == before
+        fresh = objective.state_from(clone.partition())
+        assert clone.value() == pytest.approx(fresh.value())
+
+    def test_recompute_idempotent(self, objective):
+        state = objective.random_state(seed=9)
+        for pair in list(state.candidate_swaps())[:10]:
+            state.apply_swap(*pair)
+        v = state.value()
+        state.recompute()
+        assert state.value() == pytest.approx(v)
+
+
+class TestObjectiveValidation:
+    def test_bad_sizes(self, table16):
+        with pytest.raises(ValueError):
+            SimilarityObjective(table16, [0, 4])
+
+    def test_overflow(self, table16):
+        with pytest.raises(ValueError):
+            SimilarityObjective(table16, [10, 10])
+
+    def test_table_mismatch(self, table16):
+        with pytest.raises(ValueError):
+            SimilarityObjective(table16, [4, 4], num_switches=20)
+
+    def test_state_from_wrong_sizes(self, table16):
+        obj = SimilarityObjective(table16, [4, 4, 4, 4])
+        wrong = random_partition([8, 8], 16, seed=0)
+        with pytest.raises(ValueError, match="sizes"):
+            obj.state_from(wrong)
+
+    def test_value_function(self, table16):
+        obj = SimilarityObjective(table16, [8, 8])
+        p = random_partition([8, 8], 16, seed=1)
+        ev = QualityEvaluator(table16)
+        assert obj.value(p) == pytest.approx(ev.similarity(p))

@@ -1,0 +1,103 @@
+"""Arbitration-level behaviour: fairness and deterministic routing."""
+
+import pytest
+
+from repro.routing.base import Phase
+from repro.routing.tables import RoutingTable
+from repro.routing.updown import UpDownRouting
+from repro.simulation.config import SimulationConfig
+from repro.simulation.network import WormholeNetworkSimulator
+from repro.topology.graph import Topology
+
+
+class TwoSenderTraffic:
+    """Hosts 0 and 1 (switch 0) both send to hosts on switch 1 — they
+    compete for the single 0->1 link forever."""
+
+    def dest_for(self, src_host, rng):
+        return 2 if src_host == 0 else 3
+
+    def active_hosts(self):
+        return [0, 1]
+
+    def rate_scale(self, host):
+        return 1.0
+
+
+@pytest.fixture
+def chain_table():
+    topo = Topology(2, [(0, 1)], hosts_per_switch=2, switch_ports=4)
+    return RoutingTable(UpDownRouting(topo, root=0))
+
+
+class TestFairness:
+    def test_no_starvation_under_contention(self, chain_table):
+        cfg = SimulationConfig(message_length=8, warmup_cycles=0,
+                               measure_cycles=3000, seed=1)
+        sim = WormholeNetworkSimulator(chain_table, TwoSenderTraffic(),
+                                       0.5, cfg)
+        sim.run()
+        # Both flows must have completed a healthy share of messages.
+        per_dst = {2: 0, 3: 0}
+        # Count deliveries via consumed flits per flow using the trace-free
+        # proxy: rerun with recording.
+        cfg2 = SimulationConfig(message_length=8, warmup_cycles=0,
+                                measure_cycles=3000, seed=1,
+                                record_trace=True)
+        sim2 = WormholeNetworkSimulator(chain_table, TwoSenderTraffic(),
+                                        0.5, cfg2)
+        res = sim2.run()
+        assert res.messages_completed > 100
+        gen = {2: 0, 3: 0}
+        for _c, _s, d, _l in sim2.trace:
+            gen[d] += 1
+        ratio = min(gen.values()) / max(gen.values())
+        assert ratio > 0.5, f"generation already skewed: {gen}"
+
+    def test_shared_link_throughput_bounded(self, chain_table):
+        # One 1-flit/cycle link: accepted traffic across it can never
+        # exceed 1 flit/cycle => 0.5 flits/switch/cycle on 2 switches.
+        cfg = SimulationConfig(message_length=8, warmup_cycles=200,
+                               measure_cycles=2000, seed=2)
+        sim = WormholeNetworkSimulator(chain_table, TwoSenderTraffic(),
+                                       0.5, cfg)
+        res = sim.run()
+        assert res.accepted_flits_per_switch_cycle <= 0.5 + 0.02
+        # And it should be close to saturating that link.
+        assert res.accepted_flits_per_switch_cycle > 0.35
+
+
+class TestDeterministicRouting:
+    def test_deterministic_mode_pins_next_hop(self, topo16, rtable16):
+        """In deterministic mode the simulator always requests the first
+        legal hop: verify the table's hop ordering is stable and that the
+        first hop is a function of (switch, phase, destination) only."""
+        for dst in range(0, 16, 3):
+            for src in range(16):
+                if src == dst:
+                    continue
+                first = rtable16.hops(src, Phase.UP, dst)
+                again = rtable16.hops(src, Phase.UP, dst)
+                assert first == again
+                assert first[0] == min(first)  # sorted -> deterministic pick
+
+    def test_deterministic_run_reproducible_across_instances(self, rtable16,
+                                                             topo16):
+        from repro.core.mapping import (Workload, partition_to_mapping,
+                                        random_partition)
+        from repro.simulation.traffic import IntraClusterTraffic
+
+        w = Workload.uniform(4, 16)
+        part = random_partition([4] * 4, 16, seed=1)
+        mapping = partition_to_mapping(part, w, topo16)
+        cfg = SimulationConfig(warmup_cycles=100, measure_cycles=500,
+                               adaptive=False, seed=3)
+
+        def run():
+            sim = WormholeNetworkSimulator(
+                rtable16, IntraClusterTraffic(mapping), 0.02, cfg
+            )
+            r = sim.run()
+            return (r.flits_consumed_measured, r.avg_latency)
+
+        assert run() == run()

@@ -1,0 +1,48 @@
+"""Tests for the Message (worm) record."""
+
+import pytest
+
+from repro.routing.base import Phase
+from repro.simulation.message import Message
+
+
+@pytest.fixture
+def msg():
+    return Message(mid=7, src_host=1, dst_host=9, src_switch=0,
+                   dst_switch=2, length=16, generated_at=100)
+
+
+class TestMessage:
+    def test_initial_state(self, msg):
+        assert msg.to_inject == 16
+        assert msg.consumed == 0
+        assert msg.in_network == 0
+        assert not msg.done
+        assert msg.phase == Phase.UP
+        assert msg.head_switch == 0
+
+    def test_in_network_accounting(self, msg):
+        msg.to_inject = 10
+        msg.consumed = 2
+        assert msg.in_network == 4
+
+    def test_done(self, msg):
+        msg.consumed = 16
+        msg.to_inject = 0
+        assert msg.done
+
+    def test_latency_requires_completion(self, msg):
+        with pytest.raises(ValueError):
+            msg.latency()
+        with pytest.raises(ValueError):
+            msg.total_latency()
+
+    def test_latencies(self, msg):
+        msg.injected_at = 110
+        msg.completed_at = 140
+        assert msg.latency() == 30
+        assert msg.total_latency() == 40  # includes 10 cycles of queueing
+
+    def test_repr_contains_route(self, msg):
+        out = repr(msg)
+        assert "1->9" in out and "sw 0->2" in out

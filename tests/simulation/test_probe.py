@@ -1,0 +1,122 @@
+"""Tests for communication-requirement estimation from traffic traces."""
+
+import math
+
+import pytest
+
+from repro.core.mapping import (
+    LogicalCluster,
+    Workload,
+    partition_to_mapping,
+    random_partition,
+)
+from repro.simulation.config import SimulationConfig
+from repro.simulation.network import WormholeNetworkSimulator
+from repro.simulation.probe import estimate_requirements, probe_requirements
+from repro.simulation.traffic import IntraClusterTraffic
+
+
+@pytest.fixture
+def mapping16(topo16, workload16):
+    part = random_partition([4] * 4, 16, seed=0)
+    return partition_to_mapping(part, workload16, topo16)
+
+
+class TestEstimateRequirements:
+    def test_synthetic_trace(self):
+        cluster_of_host = {0: 0, 1: 0, 2: 1, 3: 1}
+        trace = [
+            (0, 0, 1, 16),   # intra cluster 0
+            (1, 0, 2, 16),   # cross cluster
+            (2, 2, 3, 8),    # intra cluster 1
+        ]
+        est = estimate_requirements(trace, cluster_of_host, cycles_observed=100)
+        c0 = est.per_cluster[0]
+        assert c0.messages == 2 and c0.flits == 32
+        assert c0.intracluster_fraction == pytest.approx(0.5)
+        assert c0.flits_per_process_cycle == pytest.approx(32 / 2 / 100)
+        c1 = est.per_cluster[1]
+        assert c1.intracluster_fraction == pytest.approx(1.0)
+        assert est.total_flits == 40
+        assert est.flits_per_process_cycle == pytest.approx(40 / 4 / 100)
+
+    def test_unknown_hosts_ignored(self):
+        est = estimate_requirements([(0, 99, 0, 16)], {0: 0}, 10)
+        assert est.total_flits == 0
+
+    def test_empty_trace(self):
+        est = estimate_requirements([], {0: 0, 1: 0}, 10)
+        assert est.flits_per_process_cycle == 0.0
+        assert math.isnan(est.intracluster_fraction)
+        assert math.isnan(est.per_cluster[0].intracluster_fraction)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_requirements([], {0: 0}, 0)
+
+
+class TestProbeRequirements:
+    def test_estimates_configured_rate(self, rtable16, mapping16):
+        rate = 0.01
+        cfg = SimulationConfig(warmup_cycles=0, measure_cycles=4000,
+                               record_trace=True, seed=3)
+        sim = WormholeNetworkSimulator(
+            rtable16, IntraClusterTraffic(mapping16), rate, cfg
+        )
+        est = probe_requirements(sim,
+                                 cluster_of_host=mapping16.cluster_of_host())
+        expected = rate * cfg.message_length
+        assert est.flits_per_process_cycle == pytest.approx(expected, rel=0.15)
+        # The paper's assumption holds for this traffic: 100 % intracluster.
+        assert est.intracluster_fraction == pytest.approx(1.0)
+
+    def test_estimates_intercluster_fraction(self, rtable16, mapping16):
+        cfg = SimulationConfig(warmup_cycles=0, measure_cycles=3000,
+                               record_trace=True, seed=4)
+        traffic = IntraClusterTraffic(mapping16, intercluster_fraction=0.3)
+        sim = WormholeNetworkSimulator(rtable16, traffic, 0.01, cfg)
+        est = probe_requirements(sim,
+                                 cluster_of_host=mapping16.cluster_of_host())
+        assert est.intracluster_fraction == pytest.approx(0.7, abs=0.07)
+
+    def test_requires_recording(self, rtable16, mapping16):
+        cfg = SimulationConfig(warmup_cycles=0, measure_cycles=100, seed=5)
+        sim = WormholeNetworkSimulator(
+            rtable16, IntraClusterTraffic(mapping16), 0.01, cfg
+        )
+        with pytest.raises(ValueError, match="record_trace"):
+            probe_requirements(sim,
+                               cluster_of_host=mapping16.cluster_of_host())
+
+    def test_feeds_integrated_scheduler(self, topo16, rtable16, mapping16,
+                                        workload16):
+        """End to end: probe -> requirement -> strategy choice."""
+        from repro.hetsched.integrated import IntegratedScheduler
+        from repro.hetsched.workload import generate_etc
+
+        cfg = SimulationConfig(warmup_cycles=0, measure_cycles=1500,
+                               record_trace=True, seed=6)
+        sim = WormholeNetworkSimulator(
+            rtable16, IntraClusterTraffic(mapping16), 0.05, cfg
+        )
+        est = probe_requirements(sim,
+                                 cluster_of_host=mapping16.cluster_of_host())
+        scheduler = IntegratedScheduler(topo16)
+        etc = generate_etc(64, 64, seed=0)
+        decision = scheduler.estimate_bottleneck(
+            workload16, etc, est.flits_per_process_cycle
+        )
+        # 0.05 msgs/cycle * 16 flits = 0.8 flits/process/cycle: comm-bound.
+        assert decision.bottleneck == "communication"
+
+    def test_step_mode(self, rtable16, mapping16):
+        cfg = SimulationConfig(warmup_cycles=0, measure_cycles=100,
+                               record_trace=True, seed=7)
+        sim = WormholeNetworkSimulator(
+            rtable16, IntraClusterTraffic(mapping16), 0.02, cfg
+        )
+        est = probe_requirements(
+            sim, cluster_of_host=mapping16.cluster_of_host(), cycles=500
+        )
+        assert est.cycles_observed == 500
+        assert est.total_flits > 0

@@ -1,0 +1,72 @@
+"""Tests for load sweeps and saturation estimation."""
+
+import pytest
+
+from repro.core.mapping import partition_to_mapping, random_partition
+from repro.simulation.config import SimulationConfig
+from repro.simulation.sweep import (
+    find_saturation_rate,
+    make_load_points,
+    run_load_sweep,
+)
+from repro.simulation.traffic import IntraClusterTraffic
+
+
+@pytest.fixture
+def traffic16(topo16, workload16):
+    part = random_partition([4] * 4, 16, seed=0)
+    return IntraClusterTraffic(partition_to_mapping(part, workload16, topo16))
+
+
+QUICK = SimulationConfig(warmup_cycles=150, measure_cycles=600, seed=3)
+
+
+class TestMakeLoadPoints:
+    def test_count_and_range(self):
+        pts = make_load_points(0.9, n=9)
+        assert len(pts) == 9
+        assert pts[0] == pytest.approx(0.09)
+        assert pts[-1] == pytest.approx(0.9)
+
+    def test_monotone(self):
+        pts = make_load_points(0.5, n=5)
+        assert all(a < b for a, b in zip(pts, pts[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_load_points(0)
+        with pytest.raises(ValueError):
+            make_load_points(0.5, n=1)
+
+
+class TestRunLoadSweep:
+    def test_labels_and_rates(self, rtable16, traffic16):
+        pts = run_load_sweep(rtable16, traffic16, [0.002, 0.01], QUICK)
+        assert [p.label for p in pts] == ["S1", "S2"]
+        assert [p.rate for p in pts] == [0.002, 0.01]
+
+    def test_offered_scales_with_rate(self, rtable16, traffic16):
+        pts = run_load_sweep(rtable16, traffic16, [0.002, 0.004], QUICK)
+        a, b = (p.result.offered_flits_per_switch_cycle for p in pts)
+        assert b == pytest.approx(2 * a)
+
+    def test_accepted_monotone_until_saturation(self, rtable16, traffic16):
+        pts = run_load_sweep(rtable16, traffic16, [0.002, 0.006, 0.012], QUICK)
+        acc = [p.result.accepted_flits_per_switch_cycle for p in pts]
+        assert acc[0] < acc[2] * 1.5  # low load accepts less than higher load
+
+
+class TestFindSaturation:
+    def test_returns_positive_throughput(self, rtable16, traffic16):
+        out = find_saturation_rate(rtable16, traffic16, QUICK)
+        assert out["throughput"] > 0
+        assert 0 < out["rate"] <= 1.0
+
+    def test_saturation_rate_not_saturated_below(self, rtable16, traffic16):
+        out = find_saturation_rate(rtable16, traffic16, QUICK)
+        pts = run_load_sweep(rtable16, traffic16, [out["rate"] * 0.5], QUICK)
+        assert not pts[0].result.saturated
+
+    def test_validation(self, rtable16, traffic16):
+        with pytest.raises(ValueError):
+            find_saturation_rate(rtable16, traffic16, QUICK, lo=0.5, hi=0.1)

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import serialize
+from repro.cli import main
+from repro.core.mapping import Partition
+from repro.topology.graph import Topology
+
+
+class TestTopologyCommand:
+    def test_describe(self, capsys):
+        assert main(["topology", "--switches", "12", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "switches:        12" in out
+        assert "diameter:" in out
+
+    def test_save_and_load(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        main(["topology", "--switches", "12", "--seed", "1",
+              "--save", str(path)])
+        loaded = serialize.load(path)
+        assert isinstance(loaded, Topology)
+        assert loaded.num_switches == 12
+
+    def test_four_rings(self, capsys):
+        main(["topology", "--kind", "four-rings"])
+        assert "switches:        24" in capsys.readouterr().out
+
+    def test_mesh(self, capsys):
+        main(["topology", "--kind", "mesh", "--switches", "16"])
+        assert "switches:        16" in capsys.readouterr().out
+
+    def test_load_wrong_payload(self, tmp_path):
+        path = tmp_path / "p.json"
+        serialize.save(Partition([0, 0]), path)
+        with pytest.raises(SystemExit):
+            main(["topology", "--load", str(path)])
+
+
+class TestScheduleCommand:
+    def test_schedule_prints_scores(self, capsys):
+        assert main(["schedule", "--switches", "12", "--seed", "1",
+                     "--clusters", "3", "--randoms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "F_G=" in out and "C_c=" in out
+        assert "random-0" in out
+
+    def test_schedule_saves_partition(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        main(["schedule", "--switches", "12", "--seed", "1",
+              "--clusters", "3", "--save", str(path)])
+        loaded = serialize.load(path)
+        assert isinstance(loaded, Partition)
+        assert loaded.sizes() == [4, 4, 4]
+
+    def test_uneven_clusters_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--switches", "16", "--clusters", "3"])
+
+
+class TestSimulateCommand:
+    def test_simulate_prints_sweep(self, capsys):
+        assert main([
+            "simulate", "--switches", "8", "--seed", "1", "--clusters", "2",
+            "--randoms", "1", "--points", "2", "--measure", "300",
+            "--warmup", "100", "--max-rate", "0.01",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scheduled" in out and "S1 acc" in out and "S2 lat" in out
+
+
+class TestFiguresCommand:
+    def test_fig2_and_fig4(self, capsys):
+        assert main(["figures", "--fig", "2", "--fig", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Figure 4" in out
+        assert "Figure 3" not in out
+
+    def test_fig1(self, capsys):
+        assert main(["figures", "--fig", "1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestMetricsCommand:
+    def test_metrics_output(self, capsys):
+        assert main(["metrics", "--switches", "12", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "bisection width:" in out
+        assert "path diversity:" in out
+        assert "edge connectivity: 3" in out
+
+    def test_metrics_four_rings(self, capsys):
+        main(["metrics", "--kind", "four-rings"])
+        out = capsys.readouterr().out
+        assert "switches / links:  24" in out
+
+
+class TestFailuresCommand:
+    def test_failures_output(self, capsys):
+        assert main(["failures", "--switches", "12", "--seed", "1",
+                     "--clusters", "3", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "failure injection" in out
+        assert "survivable failures: 3/3" in out

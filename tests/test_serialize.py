@@ -1,0 +1,89 @@
+"""Tests for JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import serialize
+from repro.core.mapping import LogicalCluster, Partition, Workload
+from repro.distance.table import DistanceTable
+from repro.topology.designed import four_rings_topology
+from repro.topology.irregular import random_irregular_topology
+
+
+class TestRoundTrips:
+    def test_topology(self, tmp_path):
+        topo = random_irregular_topology(12, seed=9)
+        path = tmp_path / "t.json"
+        serialize.save(topo, path)
+        loaded = serialize.load(path)
+        assert loaded == topo
+        assert loaded.name == topo.name
+
+    def test_designed_topology(self, tmp_path):
+        topo = four_rings_topology()
+        path = tmp_path / "t.json"
+        serialize.save(topo, path)
+        assert serialize.load(path) == topo
+
+    def test_distance_table(self, tmp_path, table8):
+        path = tmp_path / "d.json"
+        serialize.save(table8, path)
+        loaded = serialize.load(path)
+        assert isinstance(loaded, DistanceTable)
+        assert np.allclose(loaded.values, table8.values)
+        assert loaded.kind == table8.kind
+
+    def test_partition(self, tmp_path):
+        p = Partition([0, 0, 1, -1, 1])
+        path = tmp_path / "p.json"
+        serialize.save(p, path)
+        loaded = serialize.load(path)
+        assert loaded == p
+        assert (loaded.labels == p.labels).all()
+
+    def test_workload(self, tmp_path):
+        w = Workload([LogicalCluster("a", 8, comm_weight=2.5),
+                      LogicalCluster("b", 4)])
+        path = tmp_path / "w.json"
+        serialize.save(w, path)
+        loaded = serialize.load(path)
+        assert loaded.clusters[0].name == "a"
+        assert loaded.clusters[0].comm_weight == 2.5
+        assert loaded.total_processes == 12
+
+    def test_dict_roundtrip_without_files(self):
+        topo = random_irregular_topology(8, seed=0)
+        assert serialize.from_dict(serialize.to_dict(topo)) == topo
+
+
+class TestValidation:
+    def test_unknown_type_encode(self):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            serialize.to_dict(object())
+
+    def test_unknown_type_decode(self):
+        with pytest.raises(ValueError, match="unknown payload"):
+            serialize.from_dict({"type": "mystery"})
+
+    def test_wrong_tag_rejected(self):
+        topo = random_irregular_topology(8, seed=0)
+        d = serialize.to_dict(topo)
+        with pytest.raises(ValueError, match="expected"):
+            serialize.partition_from_dict(d)
+
+    def test_future_version_rejected(self):
+        topo = random_irregular_topology(8, seed=0)
+        d = serialize.to_dict(topo)
+        d["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            serialize.from_dict(d)
+
+    def test_payload_is_plain_json(self, tmp_path):
+        topo = random_irregular_topology(8, seed=0)
+        path = tmp_path / "t.json"
+        serialize.save(topo, path)
+        raw = json.loads(path.read_text())
+        assert raw["type"] == "topology"
+        assert isinstance(raw["links"], list)

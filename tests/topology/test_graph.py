@@ -1,0 +1,167 @@
+"""Tests for the Topology model."""
+
+import numpy as np
+import pytest
+
+from repro.topology.graph import Topology
+
+
+def small_topo():
+    #  0-1, 1-2, 2-0 triangle plus pendant 3
+    return Topology(4, [(0, 1), (1, 2), (2, 0), (2, 3)], hosts_per_switch=2,
+                    switch_ports=6)
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        t = small_topo()
+        assert t.num_switches == 4
+        assert t.num_links == 4
+        assert t.num_hosts == 8
+
+    def test_links_normalized_sorted(self):
+        t = Topology(3, [(2, 1), (1, 0)])
+        assert t.links == ((0, 1), (1, 2))
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="self-link"):
+            Topology(2, [(0, 0)])
+
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Topology(2, [(0, 1), (1, 0)])
+
+    def test_out_of_range_switch(self):
+        with pytest.raises(ValueError):
+            Topology(2, [(0, 2)])
+
+    def test_port_overflow_rejected(self):
+        # 4 hosts + 8 ports => max degree 4; give switch 0 degree 5.
+        links = [(0, i) for i in range(1, 6)]
+        with pytest.raises(ValueError, match="degree"):
+            Topology(6, links, hosts_per_switch=4, switch_ports=8)
+
+    def test_zero_switches_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(0, [])
+
+    def test_ports_less_than_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(1, [], hosts_per_switch=6, switch_ports=4)
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        t = small_topo()
+        assert t.neighbors(2) == (0, 1, 3)
+
+    def test_degree(self):
+        t = small_topo()
+        assert t.degree(2) == 3
+        assert t.degree(3) == 1
+
+    def test_open_ports(self):
+        t = small_topo()  # 6 ports, 2 hosts => 4 link ports
+        assert t.open_ports(3) == 3
+        assert t.open_ports(2) == 1
+
+    def test_has_link_symmetric(self):
+        t = small_topo()
+        assert t.has_link(0, 1) and t.has_link(1, 0)
+        assert not t.has_link(0, 3)
+
+    def test_link_id_stable(self):
+        t = small_topo()
+        assert t.link_id(1, 0) == t.link_id(0, 1)
+        ids = {t.link_id(u, v) for u, v in t.links}
+        assert ids == set(range(t.num_links))
+
+
+class TestHosts:
+    def test_host_switch_roundtrip(self):
+        t = small_topo()
+        for s in range(t.num_switches):
+            for h in t.switch_hosts(s):
+                assert t.host_switch(h) == s
+
+    def test_host_out_of_range(self):
+        t = small_topo()
+        with pytest.raises(ValueError):
+            t.host_switch(t.num_hosts)
+
+    def test_switch_out_of_range(self):
+        t = small_topo()
+        with pytest.raises(ValueError):
+            t.switch_hosts(4)
+
+
+class TestDerived:
+    def test_adjacency_matrix(self):
+        t = small_topo()
+        a = t.adjacency_matrix()
+        assert (a == a.T).all()
+        assert a.sum() == 2 * t.num_links
+        assert a[0, 1] == 1 and a[0, 3] == 0
+
+    def test_laplacian_rows_sum_zero(self):
+        lap = small_topo().laplacian()
+        assert np.allclose(lap.sum(axis=1), 0)
+
+    def test_connected(self):
+        assert small_topo().is_connected()
+
+    def test_disconnected(self):
+        t = Topology(4, [(0, 1), (2, 3)])
+        assert not t.is_connected()
+
+    def test_hop_distances(self):
+        t = small_topo()
+        d = t.hop_distances()
+        assert d[0, 0] == 0
+        assert d[0, 3] == 2
+        assert (d == d.T).all()
+
+    def test_hop_distances_disconnected(self):
+        t = Topology(3, [(0, 1)])
+        d = t.hop_distances()
+        assert d[0, 2] == -1
+
+    def test_diameter(self):
+        assert small_topo().diameter() == 2
+
+    def test_diameter_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            Topology(3, [(0, 1)]).diameter()
+
+    def test_single_switch_connected(self):
+        assert Topology(1, []).is_connected()
+
+
+class TestInterop:
+    def test_networkx_export(self):
+        g = small_topo().to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 4
+
+    def test_relabeled_isomorphic(self):
+        t = small_topo()
+        perm = [3, 2, 1, 0]
+        r = t.relabeled(perm)
+        assert r.num_links == t.num_links
+        for u, v in t.links:
+            assert r.has_link(perm[u], perm[v])
+
+    def test_relabeled_rejects_non_bijection(self):
+        with pytest.raises(ValueError):
+            small_topo().relabeled([0, 0, 1, 2])
+
+    def test_equality_and_hash(self):
+        a = small_topo()
+        b = small_topo()
+        assert a == b and hash(a) == hash(b)
+        c = Topology(4, [(0, 1), (1, 2), (2, 0)], hosts_per_switch=2,
+                     switch_ports=6)
+        assert a != c
+
+    def test_repr(self):
+        assert "switches=4" in repr(small_topo())

@@ -1,0 +1,84 @@
+"""Tests for the ASCII plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.util.asciiplot import bar_chart, line_plot
+
+
+class TestLinePlot:
+    def test_basic_structure(self):
+        out = line_plot({"a": ([0, 1, 2], [0.0, 1.0, 2.0])},
+                        title="demo", x_label="x", y_label="y")
+        assert "demo" in out
+        assert "legend: o a" in out
+        assert "x" in out.splitlines()[-2]
+
+    def test_marker_placement_corners(self):
+        out = line_plot({"a": ([0, 10], [0.0, 1.0])}, width=20, height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        # Lowest point bottom-left, highest point top-right.
+        assert rows[0].rstrip().endswith("o")
+        body = rows[-1].split("|", 1)[1]
+        assert body.startswith("o")
+
+    def test_two_series_two_markers(self):
+        out = line_plot({
+            "first": ([0, 1], [1.0, 2.0]),
+            "second": ([0, 1], [3.0, 4.0]),
+        })
+        assert "o first" in out and "x second" in out
+        assert "x" in out.split("legend")[0]
+
+    def test_nan_points_skipped(self):
+        out = line_plot({"a": ([0, 1, 2], [1.0, float("nan"), 3.0])})
+        assert "legend" in out
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="no finite"):
+            line_plot({"a": ([0], [float("nan")])})
+
+    def test_log_scale_requires_positive(self):
+        out = line_plot({"a": ([0, 1], [0.0, 10.0])}, y_log=True)
+        # y=0 dropped under log scale, y=10 plotted.
+        assert "legend" in out
+
+    def test_log_scale_ticks_are_raw_values(self):
+        out = line_plot({"a": ([0, 1], [1.0, 1000.0])}, y_log=True, height=6)
+        assert "1.0e+03" in out or "1000" in out
+
+    def test_constant_series_ok(self):
+        out = line_plot({"a": ([0, 1], [5.0, 5.0])})
+        assert "legend" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"a": ([0, 1], [1.0])})
+        with pytest.raises(ValueError):
+            line_plot({"a": ([0], [1.0])}, width=2)
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart({"S1": 0.5, "S2": 1.0}, width=10, lo=0, hi=1)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_nan_marked(self):
+        out = bar_chart({"S1": float("nan")})
+        assert "(undefined)" in out
+
+    def test_clamps_out_of_range(self):
+        out = bar_chart({"a": 5.0}, width=10, lo=0, hi=1)
+        assert out.count("#") == 10
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="T").startswith("T")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})

@@ -1,0 +1,60 @@
+"""Tests for repro.util.reporting."""
+
+import pytest
+
+from repro.util.reporting import Table, format_float
+
+
+class TestFormatFloat:
+    def test_string_passthrough(self):
+        assert format_float("abc") == "abc"
+
+    def test_none(self):
+        assert format_float(None) == "-"
+
+    def test_int(self):
+        assert format_float(42) == "42"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_nan_inf(self):
+        assert format_float(float("nan")) == "nan"
+        assert format_float(float("inf")) == "inf"
+        assert format_float(float("-inf")) == "-inf"
+
+    def test_small_uses_scientific(self):
+        assert "e" in format_float(1.23e-9)
+
+    def test_typical(self):
+        assert format_float(0.25556, digits=4) == "0.2556"
+
+    def test_bool(self):
+        assert format_float(True) == "True"
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_row_length_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row(["x", 1.5])
+        t.add_row(["longer", 0.25])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data lines have equal padded width structure.
+        assert len(lines) == 5
+
+    def test_str(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert "a" in str(t)

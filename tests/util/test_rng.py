@@ -1,0 +1,80 @@
+"""Tests for repro.util.rng: determinism and independence of derived streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, derive_seed, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_rng(123).integers(0, 1 << 30, size=10)
+        b = as_rng(123).integers(0, 1 << 30, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 1 << 30, size=10)
+        b = as_rng(2).integers(0, 1 << 30, size=10)
+        assert (a != b).any()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(5)
+        assert as_rng(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(9)
+        assert isinstance(as_rng(ss), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            as_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_reproducible(self):
+        a = [g.integers(0, 1 << 30) for g in spawn_rngs(77, 4)]
+        b = [g.integers(0, 1 << 30) for g in spawn_rngs(77, 4)]
+        assert a == b
+
+    def test_streams_differ(self):
+        vals = [int(g.integers(0, 1 << 62)) for g in spawn_rngs(3, 8)]
+        assert len(set(vals)) == len(vals)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(11)
+        children = spawn_rngs(g, 3)
+        assert len(children) == 3
+        vals = [int(c.integers(0, 1 << 62)) for c in children]
+        assert len(set(vals)) == 3
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, "a", 1) == derive_seed(5, "a", 1)
+
+    def test_key_sensitivity(self):
+        assert derive_seed(5, "a", 1) != derive_seed(5, "a", 2)
+        assert derive_seed(5, "a") != derive_seed(5, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(5, "x") != derive_seed(6, "x")
+
+    def test_none_seed_ok(self):
+        assert derive_seed(None, "x") == derive_seed(0, "x")
+
+    def test_non_negative_int(self):
+        s = derive_seed(123456, "component", 42)
+        assert isinstance(s, int) and s >= 0
