@@ -32,7 +32,16 @@ from repro.topology import (
     four_rings_topology,
 )
 from repro.routing import UpDownRouting, MinimalRouting, RoutingTable
-from repro.distance import DistanceTable, build_distance_table, hop_distance_table
+from repro.distance import (
+    DistanceTable,
+    build_distance_table,
+    hop_distance_table,
+    TableCache,
+    cached_distance_table,
+    cached_routing_table,
+    configure_cache,
+)
+from repro.parallel import detect_workers, parallel_map, resolve_workers
 from repro.core import (
     LogicalCluster,
     Workload,
@@ -73,6 +82,13 @@ __all__ = [
     "DistanceTable",
     "build_distance_table",
     "hop_distance_table",
+    "TableCache",
+    "cached_distance_table",
+    "cached_routing_table",
+    "configure_cache",
+    "detect_workers",
+    "parallel_map",
+    "resolve_workers",
     "LogicalCluster",
     "Workload",
     "Partition",

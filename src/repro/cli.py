@@ -24,6 +24,8 @@ from typing import List, Optional
 from repro import serialize
 from repro.core.mapping import Workload
 from repro.core.scheduler import CommunicationAwareScheduler
+from repro.distance.cache import cached_routing_table, configure_cache
+from repro.parallel import WorkersLike
 from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
 from repro.simulation.sweep import make_load_points, run_load_sweep
@@ -37,6 +39,28 @@ from repro.topology.designed import (
 from repro.topology.graph import Topology
 from repro.topology.irregular import random_irregular_topology
 from repro.util.reporting import Table
+
+
+def _workers_arg(value: str) -> WorkersLike:
+    """Parse ``--workers``: a worker count, or ``auto`` for CPU detection."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = auto), got {count}"
+        )
+    return count
+
+
+def _apply_cache_flag(args: argparse.Namespace) -> None:
+    if getattr(args, "no_cache", False):
+        configure_cache(enabled=False)
 
 
 def _build_topology(args: argparse.Namespace) -> Topology:
@@ -80,6 +104,9 @@ def cmd_topology(args: argparse.Namespace) -> int:
 
 def cmd_schedule(args: argparse.Namespace) -> int:
     """Run the communication-aware scheduler and print the partition."""
+    from repro.search.tabu import TabuSearch
+
+    _apply_cache_flag(args)
     topo = _build_topology(args)
     if topo.num_switches % args.clusters != 0:
         raise SystemExit(
@@ -88,7 +115,9 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         )
     per_cluster = (topo.num_switches // args.clusters) * topo.hosts_per_switch
     workload = Workload.uniform(args.clusters, per_cluster)
-    scheduler = CommunicationAwareScheduler(topo)
+    scheduler = CommunicationAwareScheduler(
+        topo, search=TabuSearch(workers=args.workers)
+    )
     result = scheduler.schedule(workload, seed=args.seed)
 
     print(f"topology: {topo.name} ({topo.num_switches} switches)")
@@ -112,11 +141,12 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Sweep mappings through the wormhole simulator."""
+    _apply_cache_flag(args)
     topo = _build_topology(args)
     per_cluster = (topo.num_switches // args.clusters) * topo.hosts_per_switch
     workload = Workload.uniform(args.clusters, per_cluster)
     scheduler = CommunicationAwareScheduler(topo)
-    rt = RoutingTable(scheduler.routing)
+    rt = cached_routing_table(scheduler.routing)
     config = SimulationConfig(
         warmup_cycles=args.warmup, measure_cycles=args.measure, seed=args.seed
     )
@@ -137,7 +167,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     for name, res in mappings.items():
         points = run_load_sweep(rt, IntraClusterTraffic(res.mapping), rates,
-                                config)
+                                config, workers=args.workers)
         t.add_row(
             [name, res.c_c]
             + [p.result.accepted_flits_per_switch_cycle for p in points]
@@ -201,6 +231,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         run_fig6,
     )
 
+    _apply_cache_flag(args)
     config = SimulationConfig(
         warmup_cycles=args.warmup, measure_cycles=args.measure, seed=7
     )
@@ -211,13 +242,15 @@ def cmd_figures(args: argparse.Namespace) -> int:
     if 2 in wanted:
         print(render_fig2(run_fig2()), "\n")
     if 3 in wanted or 6 in wanted:
-        fig3_cache = run_fig3(num_random=args.randoms, config=config)
+        fig3_cache = run_fig3(num_random=args.randoms, config=config,
+                              workers=args.workers)
     if 3 in wanted:
         print(render_fig3(fig3_cache), "\n")
     if 4 in wanted:
         print(render_fig4(run_fig4()), "\n")
     if 5 in wanted:
-        print(render_fig5(run_fig5(num_random=3, config=config)), "\n")
+        print(render_fig5(run_fig5(num_random=3, config=config,
+                                   workers=args.workers)), "\n")
     if 6 in wanted:
         print(render_fig6(run_fig6(sim_result=fig3_cache)), "\n")
     return 0
@@ -241,6 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
         if with_load:
             p.add_argument("--load", help="load a topology JSON instead")
 
+    def add_exec_args(p):
+        p.add_argument("--workers", type=_workers_arg, default=None,
+                       metavar="N|auto",
+                       help="process-pool width for restarts/sweep points "
+                            "(default: $REPRO_WORKERS or serial; results "
+                            "are identical either way)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the distance/routing-table cache")
+
     p = sub.add_parser("topology", help="generate/describe a network")
     add_topology_args(p)
     p.add_argument("--save", help="write the topology as JSON")
@@ -248,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("schedule", help="run the communication-aware scheduler")
     add_topology_args(p)
+    add_exec_args(p)
     p.add_argument("--clusters", type=int, default=4)
     p.add_argument("--randoms", type=int, default=5,
                    help="random mappings to compare against")
@@ -256,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="sweep mappings through the simulator")
     add_topology_args(p)
+    add_exec_args(p)
     p.add_argument("--clusters", type=int, default=4)
     p.add_argument("--randoms", type=int, default=2)
     p.add_argument("--points", type=int, default=5)
@@ -277,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_failures)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
+    add_exec_args(p)
     p.add_argument("--fig", type=int, action="append",
                    choices=[1, 2, 3, 4, 5, 6],
                    help="figure number (repeatable; default: all)")

@@ -24,7 +24,8 @@ from repro.core.mapping import (
     random_partition,
 )
 from repro.core.quality import QualityEvaluator
-from repro.distance.table import DistanceTable, build_distance_table
+from repro.distance.cache import cached_distance_table
+from repro.distance.table import DistanceTable
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.updown import UpDownRouting
 from repro.search.base import SearchMethod, SearchResult, SimilarityObjective
@@ -90,7 +91,7 @@ class CommunicationAwareScheduler:
         self.routing = routing if routing is not None else UpDownRouting(topology)
         if self.routing.topology is not topology:
             raise ValueError("routing was built for a different topology")
-        self.table = table if table is not None else build_distance_table(self.routing)
+        self.table = table if table is not None else cached_distance_table(self.routing)
         if self.table.num_nodes != topology.num_switches:
             raise ValueError(
                 f"table covers {self.table.num_nodes} switches, topology has "

@@ -17,6 +17,15 @@ from repro.distance.resistance import (
     resistance_matrix,
 )
 from repro.distance.table import DistanceTable, build_distance_table, hop_distance_table
+from repro.distance.cache import (
+    CacheStats,
+    TableCache,
+    cached_distance_table,
+    cached_routing_table,
+    configure_cache,
+    default_cache,
+    topology_fingerprint,
+)
 from repro.distance.metrics import (
     triangle_violations,
     quadratic_mean,
@@ -29,6 +38,13 @@ __all__ = [
     "DistanceTable",
     "build_distance_table",
     "hop_distance_table",
+    "CacheStats",
+    "TableCache",
+    "cached_distance_table",
+    "cached_routing_table",
+    "configure_cache",
+    "default_cache",
+    "topology_fingerprint",
     "triangle_violations",
     "quadratic_mean",
     "distance_hop_correlation",

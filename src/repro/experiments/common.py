@@ -8,10 +8,12 @@ coefficient) and sweep execution over the S1…S9 load ladder.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mapping import Partition, ProcessMapping, Workload
 from repro.core.scheduler import CommunicationAwareScheduler
+from repro.distance.cache import cached_routing_table
+from repro.parallel import WorkersLike, parallel_map
 from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
 from repro.simulation.sweep import (
@@ -73,18 +75,35 @@ class ExperimentSetup:
         return records
 
     def sweep(self, record: MappingRecord, rates: Sequence[float],
-              config: SimulationConfig) -> List[LoadPoint]:
+              config: SimulationConfig, *,
+              workers: WorkersLike = None) -> List[LoadPoint]:
         """Simulate one mapping across the load ladder."""
         traffic = IntraClusterTraffic(record.mapping)
         cfg = replace(config, seed=derive_seed(config.seed, "mapping", record.name))
-        return run_load_sweep(self.routing_table, traffic, rates, cfg)
+        return run_load_sweep(self.routing_table, traffic, rates, cfg,
+                              workers=workers)
 
     def saturation_throughput(self, record: MappingRecord,
                               config: SimulationConfig) -> float:
         """Deep-saturation accepted traffic (the paper's 'throughput')."""
-        traffic = IntraClusterTraffic(record.mapping)
-        cfg = replace(config, seed=derive_seed(config.seed, "sat", record.name))
-        return find_saturation_rate(self.routing_table, traffic, cfg)["throughput"]
+        return _mapping_saturation(
+            (self.routing_table, record.mapping, record.name, config)
+        )
+
+    def saturation_throughputs(self, records: Sequence[MappingRecord],
+                               config: SimulationConfig, *,
+                               workers: WorkersLike = None) -> Dict[str, float]:
+        """Saturation probes for several mappings, optionally in parallel.
+
+        Each mapping's probe derives its seeds from the mapping *name*, so
+        the probes are independent jobs and the result is identical whether
+        they run serially or on a process pool.
+        """
+        jobs: List[_SaturationJob] = [
+            (self.routing_table, r.mapping, r.name, config) for r in records
+        ]
+        values = parallel_map(_mapping_saturation, jobs, workers=workers)
+        return {r.name: v for r, v in zip(records, values)}
 
     def load_ladder(self, config: SimulationConfig, n: int = 9) -> List[float]:
         """S1…S9 rates: up to ~1.3× the OP mapping's saturation rate.
@@ -96,6 +115,17 @@ class ExperimentSetup:
         traffic = IntraClusterTraffic(op.mapping)
         sat = find_saturation_rate(self.routing_table, traffic, config)
         return make_load_points(1.3 * sat["rate"], n=n)
+
+
+_SaturationJob = Tuple[RoutingTable, ProcessMapping, str, SimulationConfig]
+
+
+def _mapping_saturation(job: _SaturationJob) -> float:
+    """One mapping's deep-saturation probe (top-level for pickling)."""
+    table, mapping, name, config = job
+    traffic = IntraClusterTraffic(mapping)
+    cfg = replace(config, seed=derive_seed(config.seed, "sat", name))
+    return find_saturation_rate(table, traffic, cfg)["throughput"]
 
 
 def paper_16switch_setup(seed: int = 42,
@@ -112,7 +142,7 @@ def paper_16switch_setup(seed: int = 42,
         topology=topo,
         scheduler=sched,
         workload=workload,
-        routing_table=RoutingTable(sched.routing),
+        routing_table=cached_routing_table(sched.routing),
         seed=seed,
     )
 
@@ -129,7 +159,7 @@ def paper_24switch_setup(seed: int = 42) -> ExperimentSetup:
         topology=topo,
         scheduler=sched,
         workload=workload,
-        routing_table=RoutingTable(sched.routing),
+        routing_table=cached_routing_table(sched.routing),
         seed=seed,
     )
 

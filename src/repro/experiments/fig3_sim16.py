@@ -18,6 +18,7 @@ from repro.experiments.common import (
     MappingRecord,
     paper_16switch_setup,
 )
+from repro.parallel import WorkersLike
 from repro.simulation.config import SimulationConfig
 from repro.simulation.sweep import LoadPoint
 from repro.util.asciiplot import line_plot
@@ -70,26 +71,33 @@ def run_sim_figure(
     num_random: int,
     config: Optional[SimulationConfig] = None,
     num_points: int = 9,
+    workers: WorkersLike = None,
 ) -> SimFigureResult:
-    """Shared driver for the Figure 3 / Figure 5 experiments."""
+    """Shared driver for the Figure 3 / Figure 5 experiments.
+
+    ``workers`` fans the per-mapping load sweeps and saturation probes out
+    onto a process pool; every simulation's seed is derived from the
+    mapping name and sweep-point index alone, so the result is identical
+    to a serial run.
+    """
     config = config or default_sim_config()
     op = setup.op_mapping()
     randoms = setup.random_mappings(num_random)
     mappings = [op] + randoms
 
     rates = setup.load_ladder(config, n=num_points)
-    sweeps = {m.name: setup.sweep(m, rates, config) for m in mappings}
+    sweeps = {m.name: setup.sweep(m, rates, config, workers=workers)
+              for m in mappings}
     # Throughput = best accepted traffic observed anywhere: the dedicated
     # deep-saturation probe can land past the knee where accepted dips
     # slightly (tree saturation), so fold in the ladder maximum.
+    probes = setup.saturation_throughputs(mappings, config, workers=workers)
     throughput = {}
     for m in mappings:
         ladder_max = max(
             p.result.accepted_flits_per_switch_cycle for p in sweeps[m.name]
         )
-        throughput[m.name] = max(
-            setup.saturation_throughput(m, config), ladder_max
-        )
+        throughput[m.name] = max(probes[m.name], ladder_max)
     return SimFigureResult(
         figure=figure,
         topology_name=setup.topology.name,
@@ -105,10 +113,12 @@ def run_fig3(
     *,
     num_random: int = 9,
     config: Optional[SimulationConfig] = None,
+    workers: WorkersLike = None,
 ) -> SimFigureResult:
     """The paper's Figure 3: 16-switch network, OP vs 9 random mappings."""
     setup = setup or paper_16switch_setup()
-    return run_sim_figure("Figure 3", setup, num_random=num_random, config=config)
+    return run_sim_figure("Figure 3", setup, num_random=num_random,
+                          config=config, workers=workers)
 
 
 def render_sim_figure(res: SimFigureResult) -> str:

@@ -18,6 +18,7 @@ from repro.experiments.fig3_sim16 import (
     render_sim_figure,
     run_sim_figure,
 )
+from repro.parallel import WorkersLike
 from repro.simulation.config import SimulationConfig
 
 
@@ -26,10 +27,12 @@ def run_fig5(
     *,
     num_random: int = 3,
     config: Optional[SimulationConfig] = None,
+    workers: WorkersLike = None,
 ) -> SimFigureResult:
     """The paper's Figure 5: 24-switch designed network, OP vs 3 randoms."""
     setup = setup or paper_24switch_setup()
-    return run_sim_figure("Figure 5", setup, num_random=num_random, config=config)
+    return run_sim_figure("Figure 5", setup, num_random=num_random,
+                          config=config, workers=workers)
 
 
 def render_fig5(res: SimFigureResult) -> str:

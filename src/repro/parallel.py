@@ -1,0 +1,139 @@
+"""Process-pool execution with a deterministic serial fallback.
+
+Every parallel code path in this library follows one contract: the work is
+split into independent jobs *before* execution, each job carries its own
+pre-derived RNG stream (see :func:`repro.util.rng.spawn_rngs` /
+:func:`repro.util.rng.derive_seed`), and results are merged in job order.
+Whether the jobs run in this process (serial fallback) or in a process pool
+is therefore unobservable in the results: parallel runs are bit-identical
+to serial ones.  ``tests/search/test_parallel_determinism.py`` locks this
+down per search method.
+
+Worker-count resolution, in precedence order:
+
+1. an explicit ``workers`` argument (``int``, ``0``/``"auto"`` for
+   auto-detection);
+2. the ``REPRO_WORKERS`` environment variable (same forms);
+3. the default: ``1`` — serial, so importing the library never spawns
+   processes unless asked to.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, TypeVar, Union
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Accepted forms of a worker count: ``None`` (env/default), a positive
+#: ``int``, ``0`` (auto-detect) or the string ``"auto"``.
+WorkersLike = Union[None, int, str]
+
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def detect_workers() -> int:
+    """CPUs available to *this* process (affinity-aware), at least 1."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_workers(workers: WorkersLike = None) -> int:
+    """Turn a ``workers`` spec into a concrete positive worker count.
+
+    ``None`` defers to ``$REPRO_WORKERS`` (default ``1`` = serial);
+    ``0`` or ``"auto"`` auto-detect the available CPUs.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        workers = env
+    if isinstance(workers, str):
+        spec = workers.strip().lower()
+        if spec == "auto":
+            return detect_workers()
+        try:
+            workers = int(spec)
+        except ValueError:
+            raise ValueError(
+                f"workers must be an int or 'auto', got {workers!r}"
+            ) from None
+    workers = int(workers)
+    if workers == 0:
+        return detect_workers()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = auto), got {workers}")
+    return workers
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    jobs: Iterable[T],
+    *,
+    workers: WorkersLike = None,
+) -> List[R]:
+    """Map ``fn`` over ``jobs``, preserving job order in the results.
+
+    With a resolved worker count of 1 (the default) this is a plain serial
+    loop.  With more workers the jobs run in a process pool; ``fn`` and
+    every job must be picklable (top-level functions with value-like
+    arguments).  Results come back in submission order either way, so
+    callers can merge deterministically.
+
+    If the pool itself cannot be created or dies (sandboxes that forbid
+    ``fork``, resource exhaustion), the whole map transparently re-runs on
+    the serial path — the results are identical by contract, only slower.
+    Exceptions raised by ``fn`` propagate unchanged in both modes.
+    """
+    job_list = list(jobs)
+    n = resolve_workers(workers)
+    if n <= 1 or len(job_list) <= 1:
+        return [fn(job) for job in job_list]
+    try:
+        with ProcessPoolExecutor(max_workers=min(n, len(job_list))) as pool:
+            return list(pool.map(fn, job_list))
+    except (BrokenProcessPool, OSError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); falling back to serial "
+            "execution — results are identical by construction",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(job) for job in job_list]
+
+
+def parallel_starmap(
+    fn: Callable[..., R],
+    jobs: Iterable[tuple],
+    *,
+    workers: WorkersLike = None,
+) -> List[R]:
+    """:func:`parallel_map` for functions taking positional arguments."""
+    return parallel_map(_StarCall(fn), jobs, workers=workers)
+
+
+class _StarCall:
+    """Picklable ``fn(*args)`` adapter (lambdas cannot cross process pools)."""
+
+    def __init__(self, fn: Callable[..., R]):
+        self.fn = fn
+
+    def __call__(self, args: tuple) -> R:
+        return self.fn(*args)
+
+
+__all__ = [
+    "WorkersLike",
+    "WORKERS_ENV",
+    "detect_workers",
+    "resolve_workers",
+    "parallel_map",
+    "parallel_starmap",
+]

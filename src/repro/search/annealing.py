@@ -13,8 +13,8 @@ from typing import Optional
 import numpy as np
 
 from repro.core.mapping import Partition
+from repro.parallel import WorkersLike
 from repro.search.base import SearchMethod, SearchResult, SimilarityObjective
-from repro.util.rng import SeedLike, as_rng
 
 _EPS = 1e-12
 
@@ -32,13 +32,17 @@ class SimulatedAnnealing(SearchMethod):
         initially accepted (standard practice).
     cooling:
         Geometric factor applied every ``steps_per_temperature`` proposals.
+    restarts / workers:
+        Independent annealing chains (one RNG stream each, best kept),
+        optionally executed on a process pool.
     """
 
     name = "annealing"
 
     def __init__(self, *, iterations: int = 2000,
                  initial_temperature: Optional[float] = None,
-                 cooling: float = 0.95, steps_per_temperature: int = 50):
+                 cooling: float = 0.95, steps_per_temperature: int = 50,
+                 restarts: int = 1, workers: WorkersLike = None):
         if iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
         if not (0 < cooling < 1):
@@ -47,6 +51,7 @@ class SimulatedAnnealing(SearchMethod):
             raise ValueError(
                 f"steps_per_temperature must be >= 1, got {steps_per_temperature}"
             )
+        self._init_multistart(restarts, workers)
         self.iterations = iterations
         self.initial_temperature = initial_temperature
         self.cooling = cooling
@@ -68,9 +73,9 @@ class SimulatedAnnealing(SearchMethod):
         mean_up = float(np.mean(deltas))
         return mean_up / math.log(1.0 / 0.8)
 
-    def run(self, objective: SimilarityObjective, seed: SeedLike = None,
-            initial: Optional[Partition] = None) -> SearchResult:
-        rng = as_rng(seed)
+    def _run_single(self, objective: SimilarityObjective,
+                    rng: np.random.Generator,
+                    initial: Optional[Partition]) -> SearchResult:
         state = (objective.state_from(initial) if initial is not None
                  else objective.random_state(rng))
         if not any(True for _ in state.candidate_swaps()):

@@ -7,7 +7,7 @@ similarity function maximizes the clustering coefficient for fixed sizes).
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -15,8 +15,11 @@ import numpy as np
 
 from repro.core.mapping import Partition, random_partition
 from repro.core.quality import QualityEvaluator, TableLike
+from repro.parallel import WorkersLike, parallel_map
 from repro.search.state import PartitionState
-from repro.util.rng import SeedLike
+from repro.util.rng import SeedLike, as_rng, spawn_rngs
+
+_EPS = 1e-12
 
 
 class SimilarityObjective:
@@ -92,19 +95,96 @@ class SearchResult:
             raise ValueError(f"non-finite best value {self.best_value}")
 
 
+def _execute_start(job: tuple) -> "SearchResult":
+    """Top-level restart worker (must be picklable for process pools)."""
+    method, objective, index, rng, initial = job
+    return method._run_single(objective, rng, initial if index == 0 else None)
+
+
 class SearchMethod(ABC):
-    """A strategy that minimizes a :class:`SimilarityObjective`."""
+    """A strategy that minimizes a :class:`SimilarityObjective`.
+
+    Multi-start execution is shared here: subclasses implement
+    :meth:`_run_single` (one independent start from one RNG stream) and the
+    base :meth:`run` fans the configured ``restarts`` out over pre-derived
+    streams (:func:`~repro.util.rng.spawn_rngs`), optionally on a process
+    pool (``workers``), and merges the per-start results in start order.
+    Because stream derivation and merging are independent of *where* each
+    start ran, parallel results are bit-identical to serial ones.
+
+    Enumeration-style methods (exhaustive, A*) override :meth:`run`
+    directly instead.
+    """
 
     name: str = "search"
+    restarts: int = 1
+    workers: WorkersLike = None
 
-    @abstractmethod
+    def _init_multistart(self, restarts: int, workers: WorkersLike) -> None:
+        """Validate and store the shared multi-start knobs (ctor helper)."""
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {restarts}")
+        self.restarts = int(restarts)
+        self.workers = workers
+
     def run(self, objective: SimilarityObjective, seed: SeedLike = None,
             initial: Optional[Partition] = None) -> SearchResult:
         """Run the search and return the best partition found.
 
-        ``initial`` lets callers warm-start from a known partition; methods
-        that are population- or enumeration-based may ignore it.
+        ``initial`` lets callers warm-start from a known partition (it is
+        given to the first start only); methods that are population- or
+        enumeration-based may ignore it.
         """
+        if self.restarts <= 1:
+            return self._run_single(objective, as_rng(seed), initial)
+        rngs = spawn_rngs(seed, self.restarts)
+        jobs = [(self, objective, i, rng, initial) for i, rng in enumerate(rngs)]
+        return self._merge_starts(parallel_map(_execute_start, jobs,
+                                               workers=self.workers))
+
+    def _run_single(self, objective: SimilarityObjective,
+                    rng: np.random.Generator,
+                    initial: Optional[Partition]) -> SearchResult:
+        """One independent start from one RNG stream (subclass hook)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _run_single or override run"
+        )
+
+    def _merge_starts(self, starts: Sequence[SearchResult]) -> SearchResult:
+        """Combine per-start results deterministically.
+
+        The winner is chosen by ``(value, start index)``: a later start
+        only displaces the incumbent by improving on it beyond ``_EPS`` —
+        the same rule the serial loop applies — so the merged result does
+        not depend on completion order.
+        """
+        winner = starts[0]
+        for candidate in starts[1:]:
+            if candidate.best_value < winner.best_value - _EPS:
+                winner = candidate
+        trace: List[float] = []
+        restart_indices: List[int] = []
+        iterations = evaluations = 0
+        for res in starts:
+            restart_indices.append(len(trace))
+            trace.extend(res.trace)
+            iterations += res.iterations
+            evaluations += res.evaluations
+        return SearchResult(
+            best_partition=winner.best_partition,
+            best_value=winner.best_value,
+            method=self.name,
+            iterations=iterations,
+            evaluations=evaluations,
+            trace=trace,
+            restart_indices=restart_indices,
+            meta=self._merge_meta([res.meta for res in starts]),
+        )
+
+    def _merge_meta(self, metas: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+        """Merged-result ``meta`` (subclass hook; per-start metas given)."""
+        return {"restarts": self.restarts}
 
 
 __all__ = ["SimilarityObjective", "SearchResult", "SearchMethod"]
+

@@ -14,8 +14,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.mapping import Partition
+from repro.parallel import WorkersLike
 from repro.search.base import SearchMethod, SearchResult, SimilarityObjective
-from repro.util.rng import SeedLike, as_rng
 
 _EPS = 1e-12
 
@@ -53,14 +53,17 @@ class GeneticAlgorithm(SearchMethod):
     """Permutation-encoded GA minimizing ``F_G``.
 
     Parameters mirror the classic scheme: tournament selection, OX1
-    crossover, transposition mutation, elitist replacement.
+    crossover, transposition mutation, elitist replacement.  ``restarts``
+    runs that many independent populations (each from its own RNG stream,
+    optionally on a ``workers``-wide process pool) and keeps the best.
     """
 
     name = "genetic"
 
     def __init__(self, *, population: int = 40, generations: int = 60,
                  crossover_rate: float = 0.9, mutation_rate: float = 0.3,
-                 tournament: int = 3, elite: int = 2):
+                 tournament: int = 3, elite: int = 2,
+                 restarts: int = 1, workers: WorkersLike = None):
         if population < 2:
             raise ValueError(f"population must be >= 2, got {population}")
         if generations < 1:
@@ -71,6 +74,7 @@ class GeneticAlgorithm(SearchMethod):
             raise ValueError(f"tournament must be >= 1, got {tournament}")
         if not (0 <= elite <= population):
             raise ValueError(f"elite must be in [0, population], got {elite}")
+        self._init_multistart(restarts, workers)
         self.population = population
         self.generations = generations
         self.crossover_rate = crossover_rate
@@ -82,9 +86,9 @@ class GeneticAlgorithm(SearchMethod):
         part = decode_permutation(perm, objective.sizes, objective.num_switches)
         return objective.value(part)
 
-    def run(self, objective: SimilarityObjective, seed: SeedLike = None,
-            initial: Optional[Partition] = None) -> SearchResult:
-        rng = as_rng(seed)
+    def _run_single(self, objective: SimilarityObjective,
+                    rng: np.random.Generator,
+                    initial: Optional[Partition]) -> SearchResult:
         n_assigned = sum(objective.sizes)
         base = np.arange(objective.num_switches)
 

@@ -15,21 +15,26 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.mapping import Partition
+from repro.parallel import WorkersLike
 from repro.search.base import SearchMethod, SearchResult, SimilarityObjective
 from repro.search.genetic import decode_permutation, order_crossover
-from repro.util.rng import SeedLike, as_rng
 
 _EPS = 1e-12
 
 
 class GeneticSimulatedAnnealing(SearchMethod):
-    """Population-based annealing over permutation-encoded partitions."""
+    """Population-based annealing over permutation-encoded partitions.
+
+    ``restarts`` evolves that many independent populations (one RNG stream
+    each, best kept), optionally on a ``workers``-wide process pool.
+    """
 
     name = "gsa"
 
     def __init__(self, *, population: int = 20, generations: int = 80,
                  initial_temperature: float = 0.5, cooling: float = 0.93,
-                 crossover_rate: float = 0.6):
+                 crossover_rate: float = 0.6,
+                 restarts: int = 1, workers: WorkersLike = None):
         if population < 2:
             raise ValueError(f"population must be >= 2, got {population}")
         if generations < 1:
@@ -40,15 +45,16 @@ class GeneticSimulatedAnnealing(SearchMethod):
             raise ValueError(f"cooling must be in (0, 1), got {cooling}")
         if not (0 <= crossover_rate <= 1):
             raise ValueError("crossover_rate must be a probability")
+        self._init_multistart(restarts, workers)
         self.population = population
         self.generations = generations
         self.initial_temperature = initial_temperature
         self.cooling = cooling
         self.crossover_rate = crossover_rate
 
-    def run(self, objective: SimilarityObjective, seed: SeedLike = None,
-            initial: Optional[Partition] = None) -> SearchResult:
-        rng = as_rng(seed)
+    def _run_single(self, objective: SimilarityObjective,
+                    rng: np.random.Generator,
+                    initial: Optional[Partition]) -> SearchResult:
         n_assigned = sum(objective.sizes)
         base = np.arange(objective.num_switches)
 

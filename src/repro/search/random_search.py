@@ -10,26 +10,34 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.core.mapping import Partition
+from repro.parallel import WorkersLike
 from repro.search.base import SearchMethod, SearchResult, SimilarityObjective
-from repro.util.rng import SeedLike, as_rng
 
 _EPS = 1e-12
 
 
 class RandomSearch(SearchMethod):
-    """Keep the best of ``samples`` uniformly random partitions."""
+    """Keep the best of ``samples`` uniformly random partitions.
+
+    ``restarts`` draws ``samples`` per restart from independent RNG streams
+    (the parallel unit for the process pool), keeping the best overall.
+    """
 
     name = "random"
 
-    def __init__(self, *, samples: int = 100):
+    def __init__(self, *, samples: int = 100, restarts: int = 1,
+                 workers: WorkersLike = None):
         if samples < 1:
             raise ValueError(f"samples must be >= 1, got {samples}")
+        self._init_multistart(restarts, workers)
         self.samples = samples
 
-    def run(self, objective: SimilarityObjective, seed: SeedLike = None,
-            initial: Optional[Partition] = None) -> SearchResult:
-        rng = as_rng(seed)
+    def _run_single(self, objective: SimilarityObjective,
+                    rng: np.random.Generator,
+                    initial: Optional[Partition]) -> SearchResult:
         best_partition = initial
         best_value = objective.value(initial) if initial is not None else float("inf")
         trace = [] if initial is None else [best_value]

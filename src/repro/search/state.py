@@ -87,11 +87,31 @@ class PartitionState:
         classical aspiration criterion).  Returns ``(None, 0.0)`` when no
         candidate exists at all.
         """
+        pair, delta, _ = self.best_swaps(forbidden, aspiration_below)
+        return pair, delta
+
+    def best_swaps(
+        self, forbidden: "set[Tuple[int, int]] | None" = None,
+        aspiration_below: float = float("-inf"),
+    ) -> Tuple[Tuple[int, int] | None, float, float]:
+        """One neighbourhood pass: allowed best *and* unrestricted best.
+
+        Returns ``(pair, delta, free_delta)`` where ``pair``/``delta`` are
+        the best swap honouring ``forbidden``/aspiration (``(None, 0.0)``
+        when every candidate is excluded or none exists) and ``free_delta``
+        is the best delta over the *whole* neighbourhood, tabu ignored.
+        ``free_delta >= 0`` identifies a genuine local minimum even when the
+        tabu list masks the improving move; ``free_delta`` is ``inf`` when
+        the neighbourhood is empty.
+        """
         best_pair = None
         best_delta = float("inf")
+        free_delta = float("inf")
         current = self.value()
         for pair in self.candidate_swaps():
             delta = self.swap_delta(*pair)
+            if delta < free_delta:
+                free_delta = delta
             if forbidden and pair in forbidden:
                 if not (current + delta < aspiration_below):
                     continue
@@ -99,8 +119,8 @@ class PartitionState:
                 best_delta = delta
                 best_pair = pair
         if best_pair is None:
-            return None, 0.0
-        return best_pair, best_delta
+            return None, 0.0, free_delta
+        return best_pair, best_delta, free_delta
 
     # -- misc --------------------------------------------------------------#
 

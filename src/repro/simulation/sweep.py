@@ -11,8 +11,9 @@ paper's "network throughput" figures).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
+from repro.parallel import WorkersLike, parallel_map
 from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import SimulationResult
@@ -50,19 +51,37 @@ def make_load_points(max_rate: float, n: int = 9, min_fraction: float = 0.1) -> 
     return [lo + i * step for i in range(n)]
 
 
+_SweepJob = Tuple[RoutingTable, TrafficPattern, int, float, SimulationConfig]
+
+
+def _simulate_point(job: _SweepJob) -> LoadPoint:
+    """Run one sweep point (top-level so the process pool can pickle it)."""
+    table, traffic, index, rate, cfg = job
+    sim = WormholeNetworkSimulator(table, traffic, rate, cfg)
+    return LoadPoint(index=index, rate=rate, result=sim.run())
+
+
 def run_load_sweep(
     table: RoutingTable,
     traffic: TrafficPattern,
     rates: Sequence[float],
     config: SimulationConfig = SimulationConfig(),
+    *,
+    workers: WorkersLike = None,
 ) -> List[LoadPoint]:
-    """Simulate every rate in ``rates`` with independent, derived seeds."""
-    points = []
-    for i, rate in enumerate(rates, start=1):
-        cfg = replace(config, seed=derive_seed(config.seed, "sweep", i))
-        sim = WormholeNetworkSimulator(table, traffic, rate, cfg)
-        points.append(LoadPoint(index=i, rate=rate, result=sim.run()))
-    return points
+    """Simulate every rate in ``rates`` with independent, derived seeds.
+
+    Each point's seed is derived from ``config.seed`` and its 1-based index
+    alone, so the points are independent simulations and can run on a
+    ``workers``-wide process pool with results identical to the serial
+    order (the default ``workers=None`` honours ``$REPRO_WORKERS``).
+    """
+    jobs: List[_SweepJob] = [
+        (table, traffic, i, rate,
+         replace(config, seed=derive_seed(config.seed, "sweep", i)))
+        for i, rate in enumerate(rates, start=1)
+    ]
+    return parallel_map(_simulate_point, jobs, workers=workers)
 
 
 def find_saturation_rate(

@@ -1,0 +1,82 @@
+"""Parallel multi-start runs must be bit-identical to serial runs.
+
+The contract (see :mod:`repro.parallel`): restart RNG streams are derived
+before execution and results merge in job order, so the process pool is
+unobservable in the output.  Hypothesis drives the seed and the pool width;
+every :class:`~repro.search.base.SearchMethod` is checked.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.annealing import SimulatedAnnealing
+from repro.search.base import SimilarityObjective
+from repro.search.genetic import GeneticAlgorithm
+from repro.search.gsa import GeneticSimulatedAnnealing
+from repro.search.random_search import RandomSearch
+from repro.search.tabu import TabuSearch
+
+# Small configurations: the property is structural, not about search
+# quality, so a few iterations per method keep the suite fast.
+METHOD_FACTORIES = {
+    "tabu": lambda workers: TabuSearch(
+        restarts=3, max_iterations=6, workers=workers
+    ),
+    "annealing": lambda workers: SimulatedAnnealing(
+        iterations=120, restarts=2, workers=workers
+    ),
+    "genetic": lambda workers: GeneticAlgorithm(
+        population=8, generations=4, restarts=2, workers=workers
+    ),
+    "gsa": lambda workers: GeneticSimulatedAnnealing(
+        population=6, generations=4, restarts=2, workers=workers
+    ),
+    "random": lambda workers: RandomSearch(
+        samples=15, restarts=2, workers=workers
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def objective8(table8):
+    return SimilarityObjective(table8, [4, 4])
+
+
+def assert_results_identical(serial, parallel):
+    assert parallel.best_value == serial.best_value
+    assert (parallel.best_partition.canonical_key()
+            == serial.best_partition.canonical_key())
+    assert parallel.trace == serial.trace
+    assert parallel.restart_indices == serial.restart_indices
+    assert parallel.iterations == serial.iterations
+    assert parallel.evaluations == serial.evaluations
+    assert parallel.meta == serial.meta
+
+
+@pytest.mark.parametrize("method", sorted(METHOD_FACTORIES))
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       workers=st.integers(min_value=2, max_value=4))
+def test_parallel_bit_identical_to_serial(method, objective8, seed, workers):
+    serial = METHOD_FACTORIES[method](1).run(objective8, seed=seed)
+    parallel = METHOD_FACTORIES[method](workers).run(objective8, seed=seed)
+    assert_results_identical(serial, parallel)
+
+
+@pytest.mark.parametrize("method", sorted(METHOD_FACTORIES))
+def test_rerun_is_deterministic(method, objective8):
+    a = METHOD_FACTORIES[method](2).run(objective8, seed=11)
+    b = METHOD_FACTORIES[method](2).run(objective8, seed=11)
+    assert_results_identical(a, b)
+
+
+def test_restart_traces_concatenate_in_seed_order(objective8):
+    """The merged trace is the serial concatenation of per-seed traces."""
+    res = TabuSearch(restarts=3, max_iterations=6, workers=3).run(
+        objective8, seed=5
+    )
+    assert len(res.restart_indices) == 3
+    assert res.restart_indices[0] == 0
+    assert res.restart_indices == sorted(res.restart_indices)
+    assert res.best_value == pytest.approx(min(res.trace))

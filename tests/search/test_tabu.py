@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.mapping import random_partition
+from repro.core.mapping import Partition, random_partition
 from repro.search.base import SimilarityObjective
 from repro.search.exhaustive import ExhaustiveSearch
 from repro.search.tabu import TabuSearch
@@ -103,6 +103,50 @@ class TestSearchBehaviour:
     def test_zero_tenure_allowed(self, objective16):
         res = TabuSearch(tenure=0, restarts=2).run(objective16, seed=9)
         assert res.best_value > 0
+
+
+class TestLocalMinimumCounting:
+    """Regression tests for the local-minimum stop rule.
+
+    The stop rule (paper: "the search must end when the same local minimum
+    is visited three times") must count visits only at genuine local minima
+    of the *unrestricted* swap neighbourhood.  An earlier version judged by
+    the tabu-filtered best delta, so a state whose improving escape was
+    merely tabu-forbidden was miscounted as a local-minimum visit, ending
+    seeds early.
+    """
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_counted_states_are_genuine_local_minima(self, objective16, seed):
+        res = TabuSearch().run(objective16, seed=seed)
+        keys = res.meta["local_min_keys"]
+        assert keys, "tabu on 16 switches must reach some local minimum"
+        for key in keys:
+            part = Partition.from_clusters(key, 16)
+            state = objective16.state_from(part)
+            _pair, delta, free_delta = state.best_swaps(set(), float("-inf"))
+            assert free_delta >= -1e-9, (
+                f"counted state has an unrestricted improving swap "
+                f"(free_delta={free_delta}); the visit was tabu-masked, "
+                f"not a local minimum"
+            )
+            assert delta == free_delta  # no forbidden moves ⇒ same optimum
+
+    def test_visit_total_matches_key_counts(self, objective16):
+        res = TabuSearch().run(objective16, seed=1)
+        assert res.meta["local_min_visits"] >= len(res.meta["local_min_keys"])
+
+    def test_tabu_masked_descent_not_counted(self, objective8):
+        # With an enormous tenure every inverse move stays forbidden, so
+        # tabu-masked states abound; visits must still only happen at
+        # unrestricted minima.
+        res = TabuSearch(restarts=2, tenure=50, max_iterations=15).run(
+            objective8, seed=3
+        )
+        for key in res.meta["local_min_keys"]:
+            state = objective8.state_from(Partition.from_clusters(key, 8))
+            _pair, _delta, free_delta = state.best_swaps(set(), float("-inf"))
+            assert free_delta >= -1e-9
 
 
 class TestPaperOptimalityClaim:

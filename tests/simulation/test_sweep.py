@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.mapping import partition_to_mapping, random_partition
+from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
 from repro.simulation.sweep import (
     find_saturation_rate,
@@ -16,6 +17,12 @@ from repro.simulation.traffic import IntraClusterTraffic
 def traffic16(topo16, workload16):
     part = random_partition([4] * 4, 16, seed=0)
     return IntraClusterTraffic(partition_to_mapping(part, workload16, topo16))
+
+
+@pytest.fixture
+def traffic8(topo8, workload8):
+    part = random_partition([4] * 2, 8, seed=0)
+    return IntraClusterTraffic(partition_to_mapping(part, workload8, topo8))
 
 
 QUICK = SimulationConfig(warmup_cycles=150, measure_cycles=600, seed=3)
@@ -54,6 +61,31 @@ class TestRunLoadSweep:
         pts = run_load_sweep(rtable16, traffic16, [0.002, 0.006, 0.012], QUICK)
         acc = [p.result.accepted_flits_per_switch_cycle for p in pts]
         assert acc[0] < acc[2] * 1.5  # low load accepts less than higher load
+
+
+class TestParallelSweep:
+    def test_parallel_equals_serial(self, routing8, traffic8):
+        """A pooled sweep is bit-identical to the serial one.
+
+        Each point's seed depends only on ``config.seed`` and its index,
+        so where the point runs cannot influence the result.
+        """
+        rt = RoutingTable(routing8)
+        rates = [0.004, 0.015]
+        serial = run_load_sweep(rt, traffic8, rates, QUICK, workers=1)
+        pooled = run_load_sweep(rt, traffic8, rates, QUICK, workers=2)
+        assert len(serial) == len(pooled) == 2
+        for s, p in zip(serial, pooled):
+            assert p.index == s.index
+            assert p.rate == s.rate
+            assert p.result == s.result  # dataclass: field-wise equality
+
+    def test_env_workers_equals_serial(self, routing8, traffic8, monkeypatch):
+        rt = RoutingTable(routing8)
+        serial = run_load_sweep(rt, traffic8, [0.01], QUICK)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        pooled = run_load_sweep(rt, traffic8, [0.01], QUICK)
+        assert pooled[0].result == serial[0].result
 
 
 class TestFindSaturation:

@@ -1,0 +1,89 @@
+"""Tests for the process-pool executor layer."""
+
+import pytest
+
+from repro.parallel import (
+    WORKERS_ENV,
+    detect_workers,
+    parallel_map,
+    parallel_starmap,
+    resolve_workers,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(None) == 1
+
+    def test_explicit_int(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+
+    def test_auto_detects_cpus(self):
+        assert resolve_workers("auto") == detect_workers()
+        assert resolve_workers(0) == detect_workers()
+        assert resolve_workers("AUTO") == detect_workers()
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+        monkeypatch.setenv(WORKERS_ENV, "auto")
+        assert resolve_workers() == detect_workers()
+        monkeypatch.setenv(WORKERS_ENV, "")
+        assert resolve_workers() == 1
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(2) == 2
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_garbage_string_raises(self):
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+
+    def test_detect_workers_positive(self):
+        assert detect_workers() >= 1
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_preserves_order(self, workers):
+        jobs = list(range(10))
+        assert parallel_map(_square, jobs, workers=workers) == [
+            x * x for x in jobs
+        ]
+
+    def test_empty_jobs(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_single_job_stays_serial(self):
+        assert parallel_map(_square, [3], workers=8) == [9]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_exceptions_propagate(self, workers):
+        with pytest.raises(ValueError):
+            parallel_map(int, ["1", "nope", "3"], workers=workers)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_starmap(self, workers):
+        jobs = [(1, 2), (3, 4), (5, 6)]
+        assert parallel_starmap(_add, jobs, workers=workers) == [3, 7, 11]
+
+    def test_serial_and_parallel_identical(self):
+        jobs = list(range(20))
+        assert parallel_map(_square, jobs, workers=1) == parallel_map(
+            _square, jobs, workers=3
+        )
