@@ -41,7 +41,22 @@ from repro.distance import (
     cached_routing_table,
     configure_cache,
 )
-from repro.parallel import detect_workers, parallel_map, resolve_workers
+from repro.checkpoint import CheckpointMismatch, SweepCheckpoint
+from repro.faults import (
+    DegradedNetwork,
+    FaultScenario,
+    compare_repair_strategies,
+    degrade,
+    repair_schedule,
+    sample_fault_scenarios,
+    schedule_degraded,
+)
+from repro.parallel import (
+    JobTimeoutError,
+    detect_workers,
+    parallel_map,
+    resolve_workers,
+)
 from repro.core import (
     LogicalCluster,
     Workload,
@@ -89,6 +104,16 @@ __all__ = [
     "detect_workers",
     "parallel_map",
     "resolve_workers",
+    "JobTimeoutError",
+    "CheckpointMismatch",
+    "SweepCheckpoint",
+    "FaultScenario",
+    "sample_fault_scenarios",
+    "DegradedNetwork",
+    "degrade",
+    "repair_schedule",
+    "compare_repair_strategies",
+    "schedule_degraded",
     "LogicalCluster",
     "Workload",
     "Partition",

@@ -1,0 +1,203 @@
+"""Checkpoint/resume for long sweeps and multi-start searches.
+
+A :class:`SweepCheckpoint` is an append-only JSONL file recording, per
+completed job of a :func:`repro.parallel.parallel_map` run, the job index
+and its pickled result.  A run that dies — killed process, broken pool,
+exhausted retries — leaves every completed job on disk; re-running with
+the same checkpoint executes only the missing jobs and merges in job
+order, so the resumed run's results are bit-identical to an uninterrupted
+one (the jobs themselves are deterministic by the library's parallel
+contract).
+
+Robustness properties:
+
+- the file starts with a header line carrying a caller-supplied ``key``
+  (e.g. a topology fingerprint plus study parameters); resuming against a
+  checkpoint whose key does not match raises :class:`CheckpointMismatch`
+  instead of silently mixing incompatible runs;
+- every record is flushed and fsynced before the job counts as completed,
+  so a kill can lose at most the in-flight job;
+- a truncated trailing line (the classic kill-mid-write artifact) is
+  detected and ignored on load; the next ``record()`` rewrites the file
+  without the partial line.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+PathLike = Union[str, Path]
+
+_MAGIC = "repro-sweep-checkpoint"
+_VERSION = 1
+
+
+class CheckpointMismatch(RuntimeError):
+    """The checkpoint on disk belongs to a different run configuration."""
+
+
+class SweepCheckpoint:
+    """Append-only JSONL record of completed jobs of one sweep.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file; created (with parents) on first record.
+    key:
+        Identity of the run configuration.  Loading an existing file with
+        a different key raises :class:`CheckpointMismatch`.
+    total:
+        Expected number of jobs; checked against the header when both are
+        known.
+    """
+
+    def __init__(self, path: PathLike, *, key: str = "",
+                 total: Optional[int] = None):
+        self.path = Path(path)
+        self.key = str(key)
+        self.total = total
+        self._results: Dict[int, Any] = {}
+        self._rewrite_needed = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+
+    def _load(self) -> None:
+        lines = self.path.read_text().split("\n")
+        header = self._parse_line(lines[0])
+        if header is None or header.get("magic") != _MAGIC:
+            raise CheckpointMismatch(
+                f"{self.path} is not a repro sweep checkpoint"
+            )
+        if header.get("version", 0) > _VERSION:
+            raise CheckpointMismatch(
+                f"{self.path}: checkpoint version {header.get('version')} "
+                f"is newer than supported ({_VERSION})"
+            )
+        if header.get("key", "") != self.key:
+            raise CheckpointMismatch(
+                f"{self.path} was written for a different run "
+                f"(key {header.get('key', '')!r}, expected {self.key!r}); "
+                "delete it or pass a matching configuration"
+            )
+        header_total = header.get("total")
+        if (self.total is not None and header_total is not None
+                and int(header_total) != int(self.total)):
+            raise CheckpointMismatch(
+                f"{self.path} records a sweep of {header_total} jobs, "
+                f"this run has {self.total}"
+            )
+        if self.total is None and header_total is not None:
+            self.total = int(header_total)
+        for raw in lines[1:]:
+            if not raw:
+                continue
+            entry = self._parse_line(raw)
+            if entry is None:
+                # Truncated trailing line from a mid-write kill: drop it
+                # (and anything after it) and compact on the next record.
+                self._rewrite_needed = True
+                break
+            self._results[int(entry["i"])] = pickle.loads(
+                base64.b64decode(entry["r"])
+            )
+
+    @staticmethod
+    def _parse_line(raw: str) -> Optional[Dict[str, Any]]:
+        try:
+            obj = json.loads(raw)
+        except (json.JSONDecodeError, ValueError):
+            return None
+        return obj if isinstance(obj, dict) else None
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def record(self, index: int, result: Any) -> None:
+        """Persist one completed job durably (flush + fsync)."""
+        index = int(index)
+        self._results[index] = result
+        if self._rewrite_needed or not self.path.exists():
+            self._rewrite()
+            return
+        with open(self.path, "a") as fh:
+            fh.write(self._entry_line(index, result))
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _entry_line(self, index: int, result: Any) -> str:
+        payload = base64.b64encode(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+        return json.dumps({"i": index, "r": payload}) + "\n"
+
+    def _header_line(self) -> str:
+        header: Dict[str, Any] = {
+            "magic": _MAGIC,
+            "version": _VERSION,
+            "key": self.key,
+        }
+        if self.total is not None:
+            header["total"] = int(self.total)
+        return json.dumps(header) + "\n"
+
+    def _rewrite(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w") as fh:
+            fh.write(self._header_line())
+            for index in sorted(self._results):
+                fh.write(self._entry_line(index, self._results[index]))
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(self.path)
+        self._rewrite_needed = False
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def completed(self, total: Optional[int] = None) -> Dict[int, Any]:
+        """Completed results as ``{job index: result}``.
+
+        ``total`` (when given) is validated against the recorded sweep
+        size; indices at or beyond it raise :class:`CheckpointMismatch`
+        rather than being silently dropped.
+        """
+        if total is not None:
+            if self.total is not None and int(total) != int(self.total):
+                raise CheckpointMismatch(
+                    f"{self.path} records a sweep of {self.total} jobs, "
+                    f"this run has {total}"
+                )
+            out_of_range = [i for i in self._results if i >= int(total)]
+            if out_of_range:
+                raise CheckpointMismatch(
+                    f"{self.path} contains job index "
+                    f"{max(out_of_range)} beyond sweep size {total}"
+                )
+        return dict(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, index: int) -> bool:
+        return int(index) in self._results
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepCheckpoint(path={str(self.path)!r}, key={self.key!r}, "
+            f"completed={len(self._results)}, total={self.total})"
+        )
+
+
+__all__ = ["CheckpointMismatch", "SweepCheckpoint"]

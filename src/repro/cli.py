@@ -200,14 +200,21 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def cmd_failures(args: argparse.Namespace) -> int:
-    """Run the single-link failure-injection study."""
+    """Run the fault-injection study (single faults or sampled k-fault)."""
     from repro.core.mapping import Workload
     from repro.experiments.common import ExperimentSetup
     from repro.experiments.failures import (
-        render_failure_study,
-        run_failure_study,
+        render_fault_study,
+        run_fault_study,
+    )
+    from repro.faults.model import (
+        FaultScenario,
+        sample_fault_scenarios,
+        single_link_scenarios,
+        single_switch_scenarios,
     )
 
+    _apply_cache_flag(args)
     topo = _build_topology(args)
     per_cluster = (topo.num_switches // args.clusters) * topo.hosts_per_switch
     scheduler = CommunicationAwareScheduler(topo)
@@ -218,8 +225,20 @@ def cmd_failures(args: argparse.Namespace) -> int:
         routing_table=RoutingTable(scheduler.routing),
         seed=args.seed,
     )
-    links = topo.links[:args.limit] if args.limit else None
-    print(render_failure_study(run_failure_study(setup, links=links)))
+    if args.faults <= 1:
+        scenarios = single_link_scenarios(topo)
+        if args.include_switch_faults:
+            scenarios += single_switch_scenarios(topo)
+    else:
+        scenarios = sample_fault_scenarios(
+            topo, num_faults=args.faults, count=args.samples,
+            seed=args.seed, include_switches=args.include_switch_faults,
+        )
+    if args.limit:
+        scenarios = scenarios[:args.limit]
+    res = run_fault_study(setup, scenarios, seed=1, workers=args.workers,
+                          checkpoint_path=args.resume)
+    print(render_fault_study(res))
     return 0
 
 
@@ -313,11 +332,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("failures",
-                       help="single-link failure injection study")
+                       help="fault-injection study (links/switches, "
+                            "repair vs reschedule)")
     add_topology_args(p)
+    add_exec_args(p)
     p.add_argument("--clusters", type=int, default=4)
     p.add_argument("--limit", type=int, default=0,
-                   help="only the first N links (0 = all)")
+                   help="only the first N scenarios (0 = all)")
+    p.add_argument("--faults", type=int, default=1, metavar="K",
+                   help="faults per scenario: 1 = exhaustive single faults, "
+                        ">=2 = sampled k-fault scenarios (default: 1)")
+    p.add_argument("--samples", type=int, default=10,
+                   help="scenarios to sample when --faults >= 2 (default: 10)")
+    p.add_argument("--include-switch-faults", action="store_true",
+                   help="also fail whole switches, not just links")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="checkpoint file: record completed scenarios and "
+                        "resume an interrupted study bit-identically")
     p.set_defaults(func=cmd_failures)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")

@@ -1,0 +1,59 @@
+"""Fault injection, degraded-mode scheduling and repair search.
+
+The subsystem turns the one-off single-link failure study into first-class
+infrastructure:
+
+- :mod:`repro.faults.model` — seedable :class:`FaultScenario` values
+  (permanent link/switch failures, multi-fault), scenario generators and
+  serialization;
+- :mod:`repro.faults.degrade` — the single :func:`degrade` entry point:
+  surviving network, connected components, reconfigured up*/down* routing
+  and distance tables, connectivity/deadlock verification;
+- :mod:`repro.faults.reschedule` — degraded-mode scheduling: evaluation of
+  stale mappings, warm-start Tabu repair, full rescheduling, and graceful
+  per-component scheduling when a fault partitions the network.
+"""
+
+from repro.faults.degrade import (
+    ComponentNetwork,
+    DegradedNetwork,
+    VerificationReport,
+    degrade,
+)
+from repro.faults.model import (
+    FaultScenario,
+    sample_fault_scenarios,
+    single_link_scenarios,
+    single_switch_scenarios,
+)
+from repro.faults.reschedule import (
+    ClusterPlacement,
+    DegradedSchedule,
+    RepairComparison,
+    TimedSchedule,
+    compare_repair_strategies,
+    evaluate_partition,
+    full_reschedule,
+    repair_schedule,
+    schedule_degraded,
+)
+
+__all__ = [
+    "FaultScenario",
+    "single_link_scenarios",
+    "single_switch_scenarios",
+    "sample_fault_scenarios",
+    "ComponentNetwork",
+    "DegradedNetwork",
+    "VerificationReport",
+    "degrade",
+    "TimedSchedule",
+    "RepairComparison",
+    "ClusterPlacement",
+    "DegradedSchedule",
+    "evaluate_partition",
+    "repair_schedule",
+    "full_reschedule",
+    "compare_repair_strategies",
+    "schedule_degraded",
+]

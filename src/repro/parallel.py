@@ -1,4 +1,4 @@
-"""Process-pool execution with a deterministic serial fallback.
+"""Resilient process-pool execution with a deterministic serial fallback.
 
 Every parallel code path in this library follows one contract: the work is
 split into independent jobs *before* execution, each job carries its own
@@ -8,6 +8,24 @@ Whether the jobs run in this process (serial fallback) or in a process pool
 is therefore unobservable in the results: parallel runs are bit-identical
 to serial ones.  ``tests/search/test_parallel_determinism.py`` locks this
 down per search method.
+
+On top of the deterministic core, :func:`parallel_map` is an execution
+layer hardened for long sweeps:
+
+- **partial-result recovery** — when the pool dies mid-run
+  (``BrokenProcessPool``, sandboxes that forbid ``fork``), results that
+  already completed are kept and only the missing jobs re-run serially;
+- **per-job retries** — ``retries=N`` re-submits a failed job up to ``N``
+  times with capped exponential backoff before letting its exception
+  propagate (default ``0``: exceptions propagate unchanged, as before);
+- **per-job timeout** — ``timeout=T`` bounds the wall-clock wait for each
+  pooled job; a job that exhausts its retries raises
+  :class:`JobTimeoutError` (the serial path cannot preempt a running
+  function, so there the timeout is not enforced);
+- **checkpoint/resume** — ``checkpoint=SweepCheckpoint(...)`` records each
+  completed job durably and, on a later run, skips every job already on
+  disk, so an interrupted sweep resumes bit-identically
+  (:mod:`repro.checkpoint`).
 
 Worker-count resolution, in precedence order:
 
@@ -21,10 +39,14 @@ Worker-count resolution, in precedence order:
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, List, TypeVar, Union
+from typing import Callable, Iterable, List, Optional, TypeVar, Union
+
+from repro.checkpoint import SweepCheckpoint
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -34,6 +56,20 @@ R = TypeVar("R")
 WorkersLike = Union[None, int, str]
 
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Backoff schedule for ``retries``: attempt ``k`` sleeps
+#: ``min(BACKOFF_CAP, BACKOFF_BASE * 2**k)`` seconds before re-running.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+
+# Test seam: monkeypatched to observe/skip the backoff sleeps.
+_sleep = time.sleep
+
+_PENDING = object()
+
+
+class JobTimeoutError(TimeoutError):
+    """A pooled job exceeded its per-job ``timeout`` (after all retries)."""
 
 
 def detect_workers() -> int:
@@ -73,11 +109,81 @@ def resolve_workers(workers: WorkersLike = None) -> int:
     return workers
 
 
+def _backoff_delay(attempt: int) -> float:
+    """Capped exponential backoff delay before retry ``attempt`` (0-based)."""
+    return min(BACKOFF_CAP, BACKOFF_BASE * (2.0 ** attempt))
+
+
+def _record(checkpoint: Optional[SweepCheckpoint], index: int,
+            value: object) -> None:
+    if checkpoint is not None:
+        checkpoint.record(index, value)
+
+
+def _run_serial(fn: Callable[[T], R], job_list: List[T], results: List,
+                missing: List[int], retries: int,
+                checkpoint: Optional[SweepCheckpoint]) -> None:
+    """Run ``missing`` jobs in order in this process, with retries."""
+    for i in missing:
+        attempt = 0
+        while True:
+            try:
+                results[i] = fn(job_list[i])
+                break
+            except Exception:
+                if attempt >= retries:
+                    raise
+                _sleep(_backoff_delay(attempt))
+                attempt += 1
+        _record(checkpoint, i, results[i])
+
+
+def _run_pool(pool: ProcessPoolExecutor, fn: Callable[[T], R],
+              job_list: List[T], results: List, missing: List[int],
+              retries: int, timeout: Optional[float],
+              checkpoint: Optional[SweepCheckpoint]) -> None:
+    """Run ``missing`` jobs on ``pool``, with per-job retries and timeout.
+
+    Raises ``BrokenProcessPool`` upward (the caller falls back serially),
+    :class:`JobTimeoutError` on an exhausted timeout, or the job's own
+    exception once its retries are spent.
+    """
+    futures = {i: pool.submit(fn, job_list[i]) for i in missing}
+    attempts = {i: 0 for i in missing}
+    for i in missing:
+        while True:
+            try:
+                results[i] = futures[i].result(timeout=timeout)
+                break
+            except BrokenProcessPool:
+                raise
+            except _FuturesTimeout:
+                if attempts[i] >= retries:
+                    futures[i].cancel()
+                    raise JobTimeoutError(
+                        f"job {i} exceeded the per-job timeout of {timeout}s"
+                        + (f" after {retries} retries" if retries else "")
+                    ) from None
+                attempts[i] += 1
+                futures[i].cancel()
+                futures[i] = pool.submit(fn, job_list[i])
+            except Exception:
+                if attempts[i] >= retries:
+                    raise
+                _sleep(_backoff_delay(attempts[i]))
+                attempts[i] += 1
+                futures[i] = pool.submit(fn, job_list[i])
+        _record(checkpoint, i, results[i])
+
+
 def parallel_map(
     fn: Callable[[T], R],
     jobs: Iterable[T],
     *,
     workers: WorkersLike = None,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> List[R]:
     """Map ``fn`` over ``jobs``, preserving job order in the results.
 
@@ -87,26 +193,86 @@ def parallel_map(
     arguments).  Results come back in submission order either way, so
     callers can merge deterministically.
 
+    Resilience knobs (all off by default):
+
+    - ``retries`` — re-run a failing job up to this many extra times with
+      capped exponential backoff; with ``0`` exceptions raised by ``fn``
+      propagate unchanged in both modes.
+    - ``timeout`` — per-job wall-clock bound, enforced in pool mode only
+      (a serial loop cannot preempt ``fn``); exhausting it raises
+      :class:`JobTimeoutError`.
+    - ``checkpoint`` — a :class:`~repro.checkpoint.SweepCheckpoint`;
+      completed jobs are recorded durably and skipped on re-runs, so an
+      interrupted map resumes where it left off with identical results.
+
     If the pool itself cannot be created or dies (sandboxes that forbid
-    ``fork``, resource exhaustion), the whole map transparently re-runs on
-    the serial path — the results are identical by contract, only slower.
-    Exceptions raised by ``fn`` propagate unchanged in both modes.
+    ``fork``, resource exhaustion, a crashing worker), results that
+    already completed are kept and only the unfinished jobs re-run on the
+    serial path — the results are identical by contract, only slower.
     """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
     job_list = list(jobs)
+    n_jobs = len(job_list)
+    results: List = [_PENDING] * n_jobs
+    if checkpoint is not None:
+        for i, value in checkpoint.completed(n_jobs).items():
+            results[i] = value
+        if checkpoint.total is None:
+            checkpoint.total = n_jobs
+    missing = [i for i in range(n_jobs) if results[i] is _PENDING]
+    if not missing:
+        return results
     n = resolve_workers(workers)
-    if n <= 1 or len(job_list) <= 1:
-        return [fn(job) for job in job_list]
+    if n <= 1 or len(missing) <= 1:
+        _run_serial(fn, job_list, results, missing, retries, checkpoint)
+        return results
     try:
-        with ProcessPoolExecutor(max_workers=min(n, len(job_list))) as pool:
-            return list(pool.map(fn, job_list))
+        pool = ProcessPoolExecutor(max_workers=min(n, len(missing)))
+    except OSError as exc:
+        _warn_fallback(exc, len(missing), n_jobs)
+        _run_serial(fn, job_list, results, missing, retries, checkpoint)
+        return results
+    graceful = True
+    try:
+        _run_pool(pool, fn, job_list, results, missing, retries, timeout,
+                  checkpoint)
+    except JobTimeoutError:
+        # JobTimeoutError subclasses TimeoutError (an OSError): keep it out
+        # of the pool-died fallback below — re-running a hung job serially
+        # would hang the caller instead.
+        graceful = False
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
     except (BrokenProcessPool, OSError) as exc:
-        warnings.warn(
-            f"process pool unavailable ({exc!r}); falling back to serial "
-            "execution — results are identical by construction",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return [fn(job) for job in job_list]
+        graceful = False
+        pool.shutdown(wait=False, cancel_futures=True)
+        still_missing = [i for i in range(n_jobs) if results[i] is _PENDING]
+        _warn_fallback(exc, len(still_missing), n_jobs)
+        _run_serial(fn, job_list, results, still_missing, retries, checkpoint)
+    except BaseException:
+        graceful = False
+        # A job failed for good (or timed out): abandon the pool without
+        # waiting on stragglers; completed results are already
+        # checkpointed for a later resume.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    finally:
+        if graceful:
+            pool.shutdown(wait=True)
+    return results
+
+
+def _warn_fallback(exc: BaseException, missing: int, total: int) -> None:
+    warnings.warn(
+        f"process pool unavailable ({exc!r}); re-running {missing} of "
+        f"{total} jobs serially (completed results are kept) — results "
+        "are identical by construction",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def parallel_starmap(
@@ -114,9 +280,14 @@ def parallel_starmap(
     jobs: Iterable[tuple],
     *,
     workers: WorkersLike = None,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> List[R]:
     """:func:`parallel_map` for functions taking positional arguments."""
-    return parallel_map(_StarCall(fn), jobs, workers=workers)
+    return parallel_map(_StarCall(fn), jobs, workers=workers,
+                        retries=retries, timeout=timeout,
+                        checkpoint=checkpoint)
 
 
 class _StarCall:
@@ -132,6 +303,9 @@ class _StarCall:
 __all__ = [
     "WorkersLike",
     "WORKERS_ENV",
+    "BACKOFF_BASE",
+    "BACKOFF_CAP",
+    "JobTimeoutError",
     "detect_workers",
     "resolve_workers",
     "parallel_map",

@@ -2,13 +2,14 @@
 
 Distance tables are expensive to build only relative to everything else,
 but topologies and schedules are the artifacts users exchange ("run the
-mapping I computed yesterday", "reproduce on my exact network"), so all
-four core value types round-trip through plain JSON:
+mapping I computed yesterday", "reproduce on my exact network"), so the
+core value types round-trip through plain JSON:
 
 - :class:`~repro.topology.graph.Topology`
 - :class:`~repro.distance.table.DistanceTable`
 - :class:`~repro.core.mapping.Partition`
 - :class:`~repro.core.mapping.Workload`
+- :class:`~repro.faults.model.FaultScenario`
 
 Each payload carries a ``"type"`` tag and a ``"version"`` so formats can
 evolve; :func:`load` dispatches on the tag.
@@ -22,6 +23,7 @@ from typing import Any, Dict, Union
 
 from repro.core.mapping import LogicalCluster, Partition, Workload
 from repro.distance.table import DistanceTable
+from repro.faults.model import FaultScenario
 from repro.topology.graph import Topology
 
 _VERSION = 1
@@ -113,6 +115,20 @@ def workload_from_dict(d: Dict[str, Any]) -> Workload:
     ])
 
 
+def fault_scenario_to_dict(scenario: FaultScenario) -> Dict[str, Any]:
+    """Encode a fault scenario (failed links/switches) as a tagged dict."""
+    payload = scenario.to_dict()
+    payload["type"] = "fault_scenario"
+    payload["version"] = _VERSION
+    return payload
+
+
+def fault_scenario_from_dict(d: Dict[str, Any]) -> FaultScenario:
+    """Decode a fault-scenario payload."""
+    _check(d, "fault_scenario")
+    return FaultScenario.from_dict(d)
+
+
 # --------------------------------------------------------------------- #
 # generic entry points
 # --------------------------------------------------------------------- #
@@ -122,6 +138,7 @@ _ENCODERS = {
     DistanceTable: table_to_dict,
     Partition: partition_to_dict,
     Workload: workload_to_dict,
+    FaultScenario: fault_scenario_to_dict,
 }
 
 _DECODERS = {
@@ -129,6 +146,7 @@ _DECODERS = {
     "distance_table": table_from_dict,
     "partition": partition_from_dict,
     "workload": workload_from_dict,
+    "fault_scenario": fault_scenario_from_dict,
 }
 
 
@@ -188,4 +206,6 @@ __all__ = [
     "partition_from_dict",
     "workload_to_dict",
     "workload_from_dict",
+    "fault_scenario_to_dict",
+    "fault_scenario_from_dict",
 ]

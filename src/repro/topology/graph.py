@@ -253,7 +253,10 @@ class Topology:
         """
         key = _normalize_link(u, v)
         if key not in self._link_index:
-            raise ValueError(f"({u},{v}) is not a link of {self.name}")
+            raise ValueError(
+                f"({u},{v}) is not a link of {self.name}; links are "
+                f"{list(self._links)[:8]}{'...' if self.num_links > 8 else ''}"
+            )
         links = [l for l in self._links if l != key]
         return Topology(
             self._n,
@@ -261,6 +264,95 @@ class Topology:
             hosts_per_switch=self._hosts_per_switch,
             switch_ports=self._switch_ports,
             name=f"{self.name}-minus-{key[0]}-{key[1]}",
+        )
+
+    def without_links(self, links: Iterable[Link]) -> "Topology":
+        """A copy of this topology with every link in ``links`` removed.
+
+        Multi-link generalization of :meth:`without_link` (one validation
+        pass, one copy).  Raises ``ValueError`` naming the first link that
+        is not part of the topology.
+        """
+        keys = set()
+        for u, v in links:
+            key = _normalize_link(int(u), int(v))
+            if key not in self._link_index:
+                raise ValueError(f"({u},{v}) is not a link of {self.name}")
+            keys.add(key)
+        if not keys:
+            return self
+        remaining = [l for l in self._links if l not in keys]
+        tag = "+".join(f"{a}-{b}" for a, b in sorted(keys))
+        return Topology(
+            self._n,
+            remaining,
+            hosts_per_switch=self._hosts_per_switch,
+            switch_ports=self._switch_ports,
+            name=f"{self.name}-minus-{tag}",
+        )
+
+    def without_switch(self, switch: int) -> "Topology":
+        """A copy with ``switch`` (and every link touching it) removed.
+
+        Models a switch failure: its hosts disappear with it.  Remaining
+        switches are renumbered compactly (ids above ``switch`` shift down
+        by one) so the result is a well-formed topology; callers that need
+        to keep the original ids should use
+        :meth:`induced_subtopology` instead.
+        """
+        if not (0 <= switch < self._n):
+            raise ValueError(
+                f"switch {switch} is not a switch of {self.name} "
+                f"(valid ids: 0..{self._n - 1})"
+            )
+        if self._n == 1:
+            raise ValueError(
+                f"cannot remove switch {switch}: {self.name} has a single switch"
+            )
+        links = [
+            (u - (u > switch), v - (v > switch))
+            for u, v in self._links
+            if switch not in (u, v)
+        ]
+        return Topology(
+            self._n - 1,
+            links,
+            hosts_per_switch=self._hosts_per_switch,
+            switch_ports=self._switch_ports,
+            name=f"{self.name}-minus-sw{switch}",
+        )
+
+    def induced_subtopology(self, switches: Iterable[int]) -> "Topology":
+        """The subgraph induced by ``switches``, compactly renumbered.
+
+        Switch ``sorted(switches)[k]`` becomes switch ``k`` of the result
+        (so the caller's id map is simply the sorted switch list).  Links
+        with either endpoint outside the set are dropped.  Raises
+        ``ValueError`` on out-of-range or duplicate ids.
+        """
+        chosen = sorted(int(s) for s in switches)
+        if not chosen:
+            raise ValueError(f"induced subtopology of {self.name} needs >= 1 switch")
+        if len(set(chosen)) != len(chosen):
+            raise ValueError(f"duplicate switch ids in {chosen}")
+        if chosen[0] < 0 or chosen[-1] >= self._n:
+            bad = chosen[0] if chosen[0] < 0 else chosen[-1]
+            raise ValueError(
+                f"switch {bad} is not a switch of {self.name} "
+                f"(valid ids: 0..{self._n - 1})"
+            )
+        local = {s: i for i, s in enumerate(chosen)}
+        links = [
+            (local[u], local[v])
+            for u, v in self._links
+            if u in local and v in local
+        ]
+        return Topology(
+            len(chosen),
+            links,
+            hosts_per_switch=self._hosts_per_switch,
+            switch_ports=self._switch_ports,
+            name=f"{self.name}-sub{len(chosen)}",
         )
 
     def relabeled(self, permutation: Sequence[int]) -> "Topology":

@@ -1,16 +1,38 @@
-"""Tests for the link-failure study."""
+"""Tests for the fault-injection study (new driver and legacy view)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.experiments.common import paper_16switch_setup
+from repro.core.mapping import Workload
+from repro.core.scheduler import CommunicationAwareScheduler
+from repro.experiments.common import ExperimentSetup, paper_16switch_setup
 from repro.experiments.failures import (
     FailureRow,
     FailureStudyResult,
     render_failure_study,
+    render_fault_study,
     run_failure_study,
+    run_fault_study,
 )
+from repro.faults.model import FaultScenario, sample_fault_scenarios
+from repro.routing.tables import RoutingTable
 from repro.routing.updown import UpDownRouting
+from repro.search.tabu import TabuSearch
 from repro.topology.designed import star_topology
+from repro.topology.irregular import random_irregular_topology
+
+
+def _setup_for(topo, clusters, *, seed=1, search=None):
+    scheduler = CommunicationAwareScheduler(topo, search=search) \
+        if search is not None else CommunicationAwareScheduler(topo)
+    per_cluster = (topo.num_switches // clusters) * topo.hosts_per_switch
+    return ExperimentSetup(
+        topology=topo,
+        scheduler=scheduler,
+        workload=Workload.uniform(clusters, per_cluster),
+        routing_table=RoutingTable(scheduler.routing),
+        seed=seed,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -82,3 +104,116 @@ class TestFailureStudy:
         assert row.recovery == pytest.approx(1.0)
         row2 = FailureRow((0, 1), False, 4.0, None, None)
         assert row2.recovery is None
+
+
+class TestFailureStudyEdgeCases:
+    def test_disconnected_rows_excluded_from_survivable(self):
+        rows = [
+            FailureRow((0, 1), True, 4.0, 3.5, 3.8),
+            FailureRow((0, 2), False, 4.0, None, None),
+            FailureRow((0, 3), False, 4.0, None, None),
+        ]
+        res = FailureStudyResult(rows)
+        assert len(res.survivable) == 1
+        # Disconnected rows (c_c None) must not crash the check.
+        assert res.all_survivable_rescheduled_ok()
+
+    def test_all_disconnected_is_vacuously_ok(self):
+        rows = [FailureRow((0, 1), False, 4.0, None, None)]
+        res = FailureStudyResult(rows)
+        assert res.survivable == []
+        assert res.all_survivable_rescheduled_ok()
+
+    def test_regression_detected(self):
+        rows = [FailureRow((0, 1), True, 4.0, 3.5, 3.0)]
+        assert not FailureStudyResult(rows).all_survivable_rescheduled_ok()
+
+    def test_empty_links_gives_empty_study(self, setup16):
+        res = run_failure_study(setup16, links=[])
+        assert res.rows == []
+        assert res.survivable == []
+        assert res.all_survivable_rescheduled_ok()
+        assert "survivable failures: 0/0" in render_failure_study(res)
+
+    def test_recovery_none_when_rescheduling_skipped(self):
+        row = FailureRow((0, 1), False, 4.0, None, None)
+        assert row.recovery is None
+        # Partial skips too (degraded known, reschedule skipped).
+        assert FailureRow((0, 1), True, 4.0, 3.0, None).recovery is None
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=5, deadline=None)
+def test_all_survivable_rescheduled_ok_is_invariant(seed):
+    """Property: the repair guarantee holds for any scheduling seed.
+
+    Warm-started searches track the best value seen, so no seed can make
+    rescheduling end below the degraded mapping — the paper's monotonicity
+    argument as a hypothesis property (small search keeps it quick).
+    """
+    topo = random_irregular_topology(8, seed=7, name="prop8")
+    setup = _setup_for(topo, 2, seed=seed,
+                       search=TabuSearch(restarts=2, max_iterations=8))
+    res = run_failure_study(setup, links=topo.links[:4], seed=seed)
+    assert res.all_survivable_rescheduled_ok()
+
+
+class TestFaultStudy:
+    @pytest.fixture(scope="class")
+    def small_setup(self):
+        topo = random_irregular_topology(8, seed=7, name="fs8")
+        return _setup_for(topo, 2,
+                          search=TabuSearch(restarts=2, max_iterations=10))
+
+    @pytest.fixture(scope="class")
+    def k2_scenarios(self, small_setup):
+        return sample_fault_scenarios(small_setup.topology, num_faults=2,
+                                      count=4, seed=3,
+                                      include_switches=True)
+
+    @pytest.fixture(scope="class")
+    def k2_study(self, small_setup, k2_scenarios):
+        return run_fault_study(small_setup, k2_scenarios, seed=1)
+
+    def test_one_row_per_scenario(self, k2_study, k2_scenarios):
+        assert len(k2_study.rows) == len(k2_scenarios)
+        assert [r.scenario for r in k2_study.rows] == list(k2_scenarios)
+
+    def test_repair_guarantee_on_survivable(self, k2_study):
+        assert k2_study.all_survivable_repaired_ok()
+        for r in k2_study.survivable:
+            assert r.c_c_repaired >= r.c_c_degraded - 1e-9
+            assert r.repair_gap is not None
+
+    def test_degraded_mode_rows_never_raise(self, k2_study):
+        for r in k2_study.degraded_mode:
+            assert r.c_c_degraded is None
+            assert r.placed_clusters + r.unplaced_clusters >= 1
+
+    def test_parallel_matches_serial_bitwise(self, small_setup,
+                                             k2_scenarios, k2_study):
+        par = run_fault_study(small_setup, k2_scenarios, seed=1, workers=2)
+        assert par.deterministic_payload() == k2_study.deterministic_payload()
+
+    def test_checkpoint_resume_bit_identical(self, small_setup, k2_scenarios,
+                                             k2_study, tmp_path):
+        # First run records everything; a second run with the same
+        # checkpoint replays from disk and must serialize identically.
+        path = str(tmp_path / "faults.jsonl")
+        first = run_fault_study(small_setup, k2_scenarios, seed=1,
+                                checkpoint_path=path)
+        resumed = run_fault_study(small_setup, k2_scenarios, seed=1,
+                                  checkpoint_path=path)
+        assert first.deterministic_payload() == resumed.deterministic_payload()
+        assert resumed.deterministic_payload() == k2_study.deterministic_payload()
+
+    def test_render_mentions_survivable_and_tradeoff(self, k2_study):
+        out = render_fault_study(k2_study)
+        assert "failure injection" in out
+        n = len(k2_study.survivable)
+        assert f"survivable failures: {n}/{len(k2_study.rows)}" in out
+
+    def test_default_scenarios_are_single_links(self, small_setup):
+        res = run_fault_study(small_setup, seed=1)
+        assert len(res.rows) == len(small_setup.topology.links)
+        assert all(r.scenario.num_faults == 1 for r in res.rows)

@@ -1,9 +1,17 @@
-"""Tests for the process-pool executor layer."""
+"""Tests for the resilient process-pool executor layer."""
+
+import multiprocessing
+import os
+import time
 
 import pytest
 
+import repro.parallel as parallel_mod
+from repro.checkpoint import SweepCheckpoint
 from repro.parallel import (
     WORKERS_ENV,
+    JobTimeoutError,
+    _backoff_delay,
     detect_workers,
     parallel_map,
     parallel_starmap,
@@ -17,6 +25,45 @@ def _square(x):
 
 def _add(a, b):
     return a + b
+
+
+def _mark_and_square(job):
+    """Append a marker per execution (O_APPEND is atomic), then square."""
+    x, marker = job
+    fd = os.open(marker, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, b"%d\n" % x)
+    finally:
+        os.close(fd)
+    return x * x
+
+
+def _crash_worker_on(job):
+    """Kill the whole worker process for the poisoned job (pool workers only)."""
+    x, marker, poison = job
+    if x == poison and multiprocessing.current_process().name != "MainProcess":
+        time.sleep(0.2)       # let earlier jobs complete first
+        os._exit(1)           # hard kill: BrokenProcessPool upstream
+    return _mark_and_square((x, marker))
+
+
+class _FlakyThenOk:
+    """Fails ``failures`` times, then succeeds (records each attempt)."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, x):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"transient failure #{self.calls}")
+        return x * x
+
+
+def _slow_square(x):
+    time.sleep(1.5)
+    return x * x
 
 
 class TestResolveWorkers:
@@ -87,3 +134,112 @@ class TestParallelMap:
         assert parallel_map(_square, jobs, workers=1) == parallel_map(
             _square, jobs, workers=3
         )
+
+
+class TestPartialRecovery:
+    def test_crashing_worker_keeps_completed_results(self, tmp_path):
+        # Job 5 hard-kills its worker after the earlier jobs finished.
+        # The pool dies (BrokenProcessPool); the fallback must keep every
+        # completed result and re-run ONLY the missing jobs serially.
+        marker = str(tmp_path / "runs.log")
+        jobs = [(x, marker, 5) for x in range(8)]
+        with pytest.warns(RuntimeWarning, match="completed results are kept"):
+            out = parallel_map(_crash_worker_on, jobs, workers=2)
+        assert out == [x * x for x in range(8)]
+        runs = [int(l) for l in
+                open(marker).read().splitlines()]
+        # Every job ran at least once, and the early jobs that completed
+        # in the pool were NOT re-run by the serial fallback.
+        assert sorted(set(runs)) == list(range(8))
+        assert runs.count(0) == 1
+        assert runs.count(1) == 1
+
+    def test_fallback_reruns_only_missing(self, tmp_path, monkeypatch):
+        # Force pool creation to fail outright: all jobs run serially once.
+        marker = str(tmp_path / "runs.log")
+
+        def boom(*a, **k):
+            raise OSError("no fork for you")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        jobs = [(x, marker) for x in range(6)]
+        with pytest.warns(RuntimeWarning):
+            out = parallel_map(_mark_and_square, jobs, workers=4)
+        assert out == [x * x for x in range(6)]
+        runs = [int(l) for l in open(marker).read().splitlines()]
+        assert sorted(runs) == list(range(6))
+
+
+class TestRetries:
+    def test_backoff_schedule_is_capped(self):
+        assert _backoff_delay(0) == pytest.approx(parallel_mod.BACKOFF_BASE)
+        assert _backoff_delay(1) == pytest.approx(2 * parallel_mod.BACKOFF_BASE)
+        assert _backoff_delay(50) == parallel_mod.BACKOFF_CAP
+
+    def test_serial_retries_until_success(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(parallel_mod, "_sleep", sleeps.append)
+        fn = _FlakyThenOk(failures=2)
+        assert parallel_map(fn, [3], workers=1, retries=2) == [9]
+        assert fn.calls == 3
+        assert sleeps == [_backoff_delay(0), _backoff_delay(1)]
+
+    def test_serial_retries_exhausted_raises(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "_sleep", lambda s: None)
+        fn = _FlakyThenOk(failures=5)
+        with pytest.raises(RuntimeError, match="transient failure"):
+            parallel_map(fn, [3], workers=1, retries=2)
+
+    def test_zero_retries_propagates_unchanged(self):
+        with pytest.raises(ValueError):
+            parallel_map(int, ["1", "nope"], workers=1)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            parallel_map(_square, [1], retries=-1)
+
+
+class TestTimeout:
+    def test_pool_timeout_raises_job_timeout(self):
+        jobs = list(range(3))
+        with pytest.raises(JobTimeoutError, match="timeout"):
+            parallel_map(_slow_square, jobs, workers=2, timeout=0.1)
+
+    def test_job_timeout_is_a_timeout_error(self):
+        # ...but must NOT be swallowed by the OSError pool-died fallback
+        # (TimeoutError subclasses OSError): the raise above proves that.
+        assert issubclass(JobTimeoutError, TimeoutError)
+
+    def test_fast_jobs_beat_the_timeout(self):
+        assert parallel_map(_square, [1, 2, 3], workers=2, timeout=30) == [
+            1, 4, 9
+        ]
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            parallel_map(_square, [1], timeout=0)
+
+
+class TestCheckpointIntegration:
+    def test_completed_jobs_are_skipped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        ck = SweepCheckpoint(path, key="k")
+        assert parallel_map(_square, [1, 2, 3], checkpoint=ck) == [1, 4, 9]
+        assert len(ck) == 3
+        # Resume: fn would now fail loudly if any job were re-run.
+        ck2 = SweepCheckpoint(path, key="k")
+        out = parallel_map(_boom, [1, 2, 3], checkpoint=ck2)
+        assert out == [1, 4, 9]
+
+    def test_partial_checkpoint_resumes_missing_only(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        ck = SweepCheckpoint(path, key="k", total=4)
+        ck.record(0, 0)
+        ck.record(2, 4)
+        out = parallel_map(_square, [0, 1, 2, 3],
+                           checkpoint=SweepCheckpoint(path, key="k", total=4))
+        assert out == [0, 1, 4, 9]
+
+
+def _boom(x):
+    raise AssertionError("job re-ran despite being checkpointed")

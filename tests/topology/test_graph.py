@@ -137,6 +137,71 @@ class TestDerived:
         assert Topology(1, []).is_connected()
 
 
+class TestRemoval:
+    def test_without_link(self):
+        t = small_topo().without_link(0, 1)
+        assert t.num_links == 3
+        assert not t.has_link(0, 1)
+        assert t.num_switches == 4
+
+    def test_without_link_missing_names_link(self):
+        with pytest.raises(ValueError, match=r"\(0,3\) is not a link"):
+            small_topo().without_link(0, 3)
+        with pytest.raises(ValueError, match=r"\(1,9\) is not a link"):
+            small_topo().without_link(1, 9)
+
+    def test_without_links_batch(self):
+        t = small_topo().without_links([(0, 1), (2, 3)])
+        assert t.num_links == 2
+        assert not t.has_link(0, 1) and not t.has_link(2, 3)
+
+    def test_without_links_empty_is_identity(self):
+        t = small_topo()
+        assert t.without_links([]) is t
+
+    def test_without_links_missing_names_link(self):
+        with pytest.raises(ValueError, match=r"\(1,3\) is not a link"):
+            small_topo().without_links([(0, 1), (1, 3)])
+
+    def test_without_switch_renumbers(self):
+        # Drop switch 1 of the triangle+pendant: 2->1, 3->2.
+        t = small_topo().without_switch(1)
+        assert t.num_switches == 3
+        assert t.has_link(0, 1)   # old 0-2
+        assert t.has_link(1, 2)   # old 2-3
+        assert t.num_links == 2
+
+    def test_without_switch_out_of_range_names_switch(self):
+        with pytest.raises(ValueError,
+                           match=r"switch 7 is not a switch .*0\.\.3"):
+            small_topo().without_switch(7)
+        with pytest.raises(ValueError, match="switch -1"):
+            small_topo().without_switch(-1)
+
+    def test_without_last_switch_rejected(self):
+        with pytest.raises(ValueError, match="single switch"):
+            Topology(1, []).without_switch(0)
+
+    def test_induced_subtopology_sorted_id_map(self):
+        t = small_topo().induced_subtopology([2, 0, 1])
+        assert t.num_switches == 3
+        # sorted([2,0,1]) == [0,1,2]: the triangle survives intact.
+        assert t.num_links == 3
+
+    def test_induced_subtopology_drops_crossing_links(self):
+        t = small_topo().induced_subtopology([0, 3])
+        assert t.num_switches == 2
+        assert t.num_links == 0
+
+    def test_induced_subtopology_validation(self):
+        with pytest.raises(ValueError, match=">= 1 switch"):
+            small_topo().induced_subtopology([])
+        with pytest.raises(ValueError, match="duplicate"):
+            small_topo().induced_subtopology([0, 0])
+        with pytest.raises(ValueError, match="switch 4"):
+            small_topo().induced_subtopology([0, 4])
+
+
 class TestInterop:
     def test_networkx_export(self):
         g = small_topo().to_networkx()
