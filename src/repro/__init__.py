@@ -81,6 +81,8 @@ from repro.search import (
 from repro.simulation import (
     SimulationConfig,
     WormholeNetworkSimulator,
+    FastWormholeNetworkSimulator,
+    make_simulator,
     IntraClusterTraffic,
     UniformTraffic,
 )
@@ -133,6 +135,8 @@ __all__ = [
     "RandomSearch",
     "SimulationConfig",
     "WormholeNetworkSimulator",
+    "FastWormholeNetworkSimulator",
+    "make_simulator",
     "IntraClusterTraffic",
     "UniformTraffic",
     "__version__",

@@ -28,6 +28,7 @@ from repro.distance.cache import cached_routing_table, configure_cache
 from repro.parallel import WorkersLike
 from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import ENGINE_NAMES
 from repro.simulation.sweep import make_load_points, run_load_sweep
 from repro.simulation.traffic import IntraClusterTraffic
 from repro.topology.designed import (
@@ -148,7 +149,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     scheduler = CommunicationAwareScheduler(topo)
     rt = cached_routing_table(scheduler.routing)
     config = SimulationConfig(
-        warmup_cycles=args.warmup, measure_cycles=args.measure, seed=args.seed
+        warmup_cycles=args.warmup, measure_cycles=args.measure,
+        seed=args.seed, engine=args.engine,
     )
     rates = make_load_points(args.max_rate, n=args.points)
 
@@ -252,7 +254,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
     _apply_cache_flag(args)
     config = SimulationConfig(
-        warmup_cycles=args.warmup, measure_cycles=args.measure, seed=7
+        warmup_cycles=args.warmup, measure_cycles=args.measure, seed=7,
+        engine=args.engine,
     )
     wanted = set(args.fig) if args.fig else {1, 2, 3, 4, 5, 6}
     fig3_cache = None
@@ -325,6 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-rate", type=float, default=0.02)
     p.add_argument("--warmup", type=int, default=300)
     p.add_argument("--measure", type=int, default=1200)
+    p.add_argument("--engine", default="fast",
+                   choices=list(ENGINE_NAMES),
+                   help="simulator engine (bit-identical; 'fast' is the "
+                        "struct-of-arrays kernel, 'reference' the "
+                        "per-message model)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("metrics", help="classical topology metrics")
@@ -359,6 +367,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--randoms", type=int, default=9)
     p.add_argument("--warmup", type=int, default=400)
     p.add_argument("--measure", type=int, default=1500)
+    p.add_argument("--engine", default="fast",
+                   choices=list(ENGINE_NAMES),
+                   help="simulator engine for the fig3/fig5 sweeps "
+                        "(results are engine-independent)")
     p.set_defaults(func=cmd_figures)
 
     return parser

@@ -109,6 +109,9 @@ class QualityEvaluator:
             raise ValueError(
                 "degenerate distance table: all inter-switch distances are zero"
             )
+        # Row sums of T² — lets C_c derive the intercluster sum from the
+        # cluster load matrix without a second ``sq @ z`` product.
+        self._row_sums = self.sq.sum(axis=1)
 
     # -- raw sums -------------------------------------------------------- #
 
@@ -151,8 +154,33 @@ class QualityEvaluator:
         return self.intercluster_sum(partition) / count / self.norm
 
     def clustering_coefficient(self, partition: Partition) -> float:
-        """``C_c = D_G / F_G``."""
-        return self.dissimilarity(partition) / self.similarity(partition)
+        """``C_c = D_G / F_G``, from a single ``sq @ z`` product.
+
+        The two-call path (:meth:`dissimilarity` / :meth:`similarity`)
+        forms the cluster load matrix twice; here both quadratic sums are
+        derived from one product plus the precomputed row sums of ``T²``:
+        ``Σ_i F_{A_i} = ⟨z, sq z⟩ / 2`` and ``Σ_i D_{A_i} = Σ_i r_i -
+        ⟨z, sq z⟩`` for assigned rows ``i``.  The equality with the
+        two-call path is asserted by the quality test suite.
+        """
+        pairs = sum(x * (x - 1) // 2 for x in partition.sizes())
+        if pairs == 0:
+            raise ValueError(
+                "F_G undefined: partition has no intracluster pairs "
+                "(all clusters are singletons)"
+            )
+        count = sum(x * (self.n - x) for x in partition.sizes())
+        if count == 0:
+            raise ValueError(
+                "D_G undefined: partition has no intercluster pairs "
+                "(a single cluster covers the whole network)"
+            )
+        z = _membership(partition, self.n)
+        inside = float(np.einsum("im,im->", z, self.sq @ z))
+        alls = float((z.sum(axis=1) * self._row_sums).sum())
+        f_g = (inside / 2.0) / pairs / self.norm
+        d_g = (alls - inside) / count / self.norm
+        return d_g / f_g
 
     # -- swap deltas for search ------------------------------------------ #
 

@@ -14,8 +14,13 @@ Key pieces:
   buffer depth, delivery channels, arbitration, warmup/measurement;
 - :mod:`~repro.simulation.traffic` — traffic patterns (the paper's 100 %
   intracluster uniform pattern, plus uniform/hotspot/intercluster mixes);
-- :class:`~repro.simulation.network.WormholeNetworkSimulator` — the
-  cycle-driven engine;
+- :mod:`~repro.simulation.engine` — the shared engine interface:
+  :func:`~repro.simulation.engine.make_simulator` builds either the
+  readable reference engine
+  (:class:`~repro.simulation.network.WormholeNetworkSimulator`) or the
+  bit-identical struct-of-arrays kernel
+  (:class:`~repro.simulation.engine_fast.FastWormholeNetworkSimulator`)
+  selected by ``SimulationConfig.engine``;
 - :mod:`~repro.simulation.sweep` — load sweeps (the S1…S9 points) and
   saturation-throughput estimation.
 """
@@ -29,6 +34,13 @@ from repro.simulation.traffic import (
     HotspotTraffic,
 )
 from repro.simulation.network import WormholeNetworkSimulator
+from repro.simulation.engine import (
+    ENGINE_NAMES,
+    EnginePerf,
+    canonical_payload,
+    make_simulator,
+)
+from repro.simulation.engine_fast import FastWormholeNetworkSimulator
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.sweep import (
     LoadPoint,
@@ -50,6 +62,11 @@ __all__ = [
     "IntraClusterTraffic",
     "HotspotTraffic",
     "WormholeNetworkSimulator",
+    "FastWormholeNetworkSimulator",
+    "ENGINE_NAMES",
+    "EnginePerf",
+    "canonical_payload",
+    "make_simulator",
     "SimulationResult",
     "LoadPoint",
     "run_load_sweep",

@@ -50,6 +50,14 @@ class SimulationConfig:
     seed:
         Seed of the simulator's own RNG (arrival times, destination draws,
         arbitration coin flips).
+    engine:
+        Which engine executes the model: ``"fast"`` (the struct-of-arrays
+        kernel with quiescence skipping, the default) or ``"reference"``
+        (the per-``Message`` model in
+        :mod:`repro.simulation.network`).  The engines are bit-identical —
+        same RNG draw order, same :class:`SimulationResult` payload for
+        every seed — so this is purely a performance knob; the parity
+        suite (``tests/simulation/test_engine_parity.py``) enforces it.
     """
 
     message_length: int = 16
@@ -62,6 +70,7 @@ class SimulationConfig:
     queue_capacity: int = 16
     record_trace: bool = False
     seed: int = 0
+    engine: str = "fast"
 
     def __post_init__(self):
         check_positive(self.message_length, "message_length")
@@ -73,6 +82,10 @@ class SimulationConfig:
             raise ValueError(f"warmup_cycles must be >= 0, got {self.warmup_cycles}")
         check_positive(self.measure_cycles, "measure_cycles")
         check_positive(self.queue_capacity, "queue_capacity")
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"engine must be 'reference' or 'fast', got {self.engine!r}"
+            )
 
 
 __all__ = ["SimulationConfig"]

@@ -1,0 +1,183 @@
+"""The shared wormhole-engine interface, perf instrumentation and factory.
+
+Two engines implement the same cycle-level semantics:
+
+- ``"reference"`` — :class:`repro.simulation.network.WormholeNetworkSimulator`,
+  the readable per-``Message`` model that defines the behaviour;
+- ``"fast"``      — :class:`repro.simulation.engine_fast.FastWormholeNetworkSimulator`,
+  a struct-of-arrays kernel with quiescence skipping that is **bit-identical**
+  to the reference: same RNG draw order, same
+  :class:`~repro.simulation.metrics.SimulationResult` payload for every seed.
+
+:func:`make_simulator` dispatches on ``SimulationConfig.engine``; everything
+downstream (load sweeps, saturation probes, the figure drivers, the CLI)
+goes through it, so one config field switches the whole evaluation stack.
+
+Observability: every engine fills an :class:`EnginePerf` — per-phase wall
+times, skipped-cycle counts and arbitration conflict counters.  Wall times
+land on ``SimulationResult.perf`` (excluded from equality comparisons);
+deterministic counters land in ``SimulationResult.meta`` so parity checks
+can assert the engines agree on *behaviour*, not just on headline numbers.
+:func:`canonical_payload` produces the engine-independent view of a result
+used by the parity suite and the engine benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Protocol, runtime_checkable
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.traffic import TrafficPattern
+
+#: Engine names accepted by ``SimulationConfig.engine``.
+ENGINE_NAMES = ("reference", "fast")
+
+
+@dataclass
+class EnginePerf:
+    """Per-run engine instrumentation.
+
+    Wall-time fields (``*_seconds``) measure where the simulation spends
+    its time; they vary run to run and never participate in result
+    equality.  The remaining counters are deterministic functions of the
+    seed and configuration: a bit-identical pair of engines must agree on
+    every one of them except ``cycles_skipped``/``cycles_executed`` (the
+    fast engine executes fewer cycles because quiescent stretches are
+    jumped over — the *simulated* cycle count is still identical).
+    """
+
+    arrivals_seconds: float = 0.0
+    injection_seconds: float = 0.0
+    arbitration_seconds: float = 0.0
+    flit_move_seconds: float = 0.0
+    cycles_executed: int = 0
+    cycles_skipped: int = 0
+    arb_requests: int = 0       # channel requests granted-or-contended
+    arb_conflicts: int = 0      # channel requests with >1 contending header
+    delivery_conflicts: int = 0  # delivery rounds that had to shuffle
+
+    @property
+    def arb_conflict_rate(self) -> float:
+        """Fraction of channel-request rounds contended by several headers."""
+        if self.arb_requests == 0:
+            return 0.0
+        return self.arb_conflicts / self.arb_requests
+
+    def wall_times(self) -> Dict[str, float]:
+        """The volatile (timing) fields, for ``SimulationResult.perf``."""
+        return {
+            "arrivals_seconds": self.arrivals_seconds,
+            "injection_seconds": self.injection_seconds,
+            "arbitration_seconds": self.arbitration_seconds,
+            "flit_move_seconds": self.flit_move_seconds,
+        }
+
+    def meta_counters(self) -> Dict[str, Any]:
+        """The deterministic fields, for ``SimulationResult.meta``."""
+        return {
+            "cycles_executed": self.cycles_executed,
+            "cycles_skipped": self.cycles_skipped,
+            "arb_requests": self.arb_requests,
+            "arb_conflicts": self.arb_conflicts,
+            "arb_conflict_rate": self.arb_conflict_rate,
+            "delivery_conflicts": self.delivery_conflicts,
+        }
+
+
+@runtime_checkable
+class NetworkEngine(Protocol):
+    """What the rest of the package relies on from a wormhole engine.
+
+    Both engines also share the constructor signature
+    ``(routing_table, traffic, injection_rate, config)``.
+    """
+
+    ENGINE_NAME: str
+    config: SimulationConfig
+    cycle: int
+    generated: int
+    trace: list
+    perf: EnginePerf
+
+    def step(self) -> None:
+        """Advance exactly one cycle (no quiescence skipping)."""
+        ...
+
+    def run(self) -> SimulationResult:
+        """Run warmup + measurement and return the measured point."""
+        ...
+
+    def check_invariants(self) -> None:
+        """Verify conservation/exclusivity invariants; raise on violation."""
+        ...
+
+
+def make_simulator(routing_table, traffic: TrafficPattern,
+                   injection_rate: float,
+                   config: SimulationConfig = SimulationConfig()):
+    """Build the engine selected by ``config.engine``.
+
+    The returned object satisfies :class:`NetworkEngine`; results are
+    bit-identical across engines, so callers may treat the choice purely
+    as a performance knob.
+    """
+    if config.engine == "reference":
+        from repro.simulation.network import WormholeNetworkSimulator
+
+        return WormholeNetworkSimulator(routing_table, traffic,
+                                        injection_rate, config)
+    if config.engine == "fast":
+        from repro.simulation.engine_fast import FastWormholeNetworkSimulator
+
+        return FastWormholeNetworkSimulator(routing_table, traffic,
+                                            injection_rate, config)
+    raise ValueError(
+        f"unknown engine {config.engine!r}; expected one of {ENGINE_NAMES}"
+    )
+
+
+# Meta keys that legitimately differ between bit-identical engines.
+_ENGINE_DEPENDENT_META = ("engine", "cycles_executed", "cycles_skipped")
+
+
+def canonical_payload(result: SimulationResult) -> Dict[str, Any]:
+    """The engine-independent view of a result, for parity comparison.
+
+    Includes every measured quantity and every deterministic meta counter;
+    excludes wall times (``result.perf``) and the meta keys that identify
+    the engine or its cycle-skipping behaviour.  Two engines are
+    *bit-identical* exactly when this payload matches for every seed.
+    """
+    meta = {k: v for k, v in result.meta.items()
+            if k not in _ENGINE_DEPENDENT_META}
+    return {
+        "offered": result.offered_flits_per_switch_cycle,
+        "accepted": result.accepted_flits_per_switch_cycle,
+        "avg_latency": result.avg_latency,
+        "latency": (result.latency.count, result.latency._mean,
+                    result.latency._m2, result.latency._min,
+                    result.latency._max),
+        "total_latency": (result.total_latency.count,
+                          result.total_latency._mean,
+                          result.total_latency._m2,
+                          result.total_latency._min,
+                          result.total_latency._max),
+        "latency_percentiles": result.latency_percentiles,
+        "messages_completed": result.messages_completed,
+        "messages_generated": result.messages_generated,
+        "flits_consumed_measured": result.flits_consumed_measured,
+        "cycles_measured": result.cycles_measured,
+        "warmup_cycles": result.warmup_cycles,
+        "meta": meta,
+    }
+
+
+__all__ = [
+    "ENGINE_NAMES",
+    "EnginePerf",
+    "NetworkEngine",
+    "make_simulator",
+    "canonical_payload",
+]

@@ -1,18 +1,25 @@
-"""The in-flight message (worm) record.
+"""The in-flight message (worm) record of the reference engine.
 
 A message is a contiguous worm of flits spread over the chain of channels
 it currently holds.  ``chain[k]`` is the k-th held channel id (tail side
 first); ``occupancy[k]`` is how many of its flits sit in that channel's
-buffer.  The engine maintains the invariants:
+buffer.  Both are deques so tail release (``popleft``) is O(1) — a worm
+of an L-flit message over a long path used to pay O(L) per released
+channel with ``list.pop(0)``.  The engine maintains the invariants:
 
 - ``sum(occupancy) + to_inject + consumed == length``;
 - channels in ``chain`` are owned exclusively by this message;
 - the head flit is in ``chain[-1]`` whenever ``occupancy[-1] > 0``.
+
+The fast engine (:mod:`repro.simulation.engine_fast`) does not use this
+class at all: it keeps the same per-worm state in preallocated flat
+arrays indexed by worm slot.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Deque, Optional
 
 from repro.routing.base import Phase
 
@@ -40,8 +47,8 @@ class Message:
         self.injected_at: Optional[int] = None
         self.completed_at: Optional[int] = None
 
-        self.chain: List[int] = []       # held channel ids, tail first
-        self.occupancy: List[int] = []   # flits per held channel
+        self.chain: Deque[int] = deque()      # held channel ids, tail first
+        self.occupancy: Deque[int] = deque()  # flits per held channel
         self.to_inject = length          # flits still at the source
         self.consumed = 0                # flits delivered
         self.head_switch = src_switch    # switch the header has reached

@@ -16,7 +16,14 @@ from repro.util.stats import RunningStats
 
 @dataclass
 class SimulationResult:
-    """Measurements of one simulation run at one offered load."""
+    """Measurements of one simulation run at one offered load.
+
+    ``meta`` carries deterministic context (topology/routing names, the
+    engine that produced the run, arbitration-conflict counters, skipped
+    cycles); ``perf`` carries wall-clock phase timings.  Wall times vary
+    run to run, so ``perf`` is excluded from equality: two results are
+    equal exactly when their seed-determined payloads are.
+    """
 
     offered_flits_per_switch_cycle: float
     accepted_flits_per_switch_cycle: float
@@ -30,6 +37,7 @@ class SimulationResult:
     warmup_cycles: int
     latency_percentiles: Optional[Dict[str, float]] = None
     meta: Dict[str, object] = field(default_factory=dict)
+    perf: Dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def saturated(self) -> bool:

@@ -16,9 +16,21 @@ Model (one cycle = one flit transfer per channel):
   1 flit/cycle once the header has been granted a delivery channel at the
   destination switch.
 
-The engine is deliberately plain Python with tight loops over small lists;
-profiling showed per-flit object models to be ~50× slower at identical
-results, which is the substitution recorded in DESIGN.md.
+This is the **reference engine**: plain Python over per-``Message``
+records, written for readability — it defines the cycle-level semantics.
+The production hot path is the struct-of-arrays kernel in
+:mod:`repro.simulation.engine_fast`, which replaces the per-message
+chain/occupancy deques with preallocated flat arrays, skips quiescent
+stretches, and is **bit-identical** to this engine (same RNG draw order,
+same :class:`~repro.simulation.metrics.SimulationResult` payload for
+every seed) — the substitution recorded in DESIGN.md and enforced by
+``tests/simulation/test_engine_parity.py``.  Tail release here is O(1)
+per channel (deque ``popleft``), so even the reference engine no longer
+pays O(chain) per released channel.
+
+Select an engine with ``SimulationConfig(engine="reference" | "fast")``
+or build one directly; :func:`repro.simulation.engine.make_simulator`
+dispatches for the sweeps, probes, figure drivers and the CLI.
 """
 
 from __future__ import annotations
@@ -26,12 +38,14 @@ from __future__ import annotations
 import heapq
 import math
 import random
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.routing.base import Phase
 from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import EnginePerf
 from repro.simulation.message import Message
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.traffic import TrafficPattern
@@ -53,6 +67,8 @@ class WormholeNetworkSimulator:
     config:
         Engine knobs; see :class:`~repro.simulation.config.SimulationConfig`.
     """
+
+    ENGINE_NAME = "reference"
 
     def __init__(self, routing_table: RoutingTable, traffic: TrafficPattern,
                  injection_rate: float, config: SimulationConfig = SimulationConfig()):
@@ -125,6 +141,7 @@ class WormholeNetworkSimulator:
         self.latency_samples = ReservoirSampler(seed=config.seed)
         self.completed_in_window = 0
         self.trace: List[Tuple[int, int, int, int]] = []
+        self.perf = EnginePerf()
 
     # ------------------------------------------------------------------ #
     # arrival process
@@ -213,7 +230,11 @@ class WormholeNetworkSimulator:
                           if len(free) > 1 else free[0])
             requests.setdefault(cid, []).append((m, w, ph))
 
+        perf = self.perf
         for cid, reqs in requests.items():
+            perf.arb_requests += 1
+            if len(reqs) > 1:
+                perf.arb_conflicts += 1
             m, w, ph = reqs[rng.randrange(len(reqs))] if len(reqs) > 1 else reqs[0]
             owner[cid] = m
             m.chain.append(cid)
@@ -227,6 +248,7 @@ class WormholeNetworkSimulator:
             if avail <= 0:
                 continue
             if len(reqs) > avail:
+                perf.delivery_conflicts += 1
                 rng.shuffle(reqs)
                 reqs = reqs[:avail]
             for m in reqs:
@@ -284,11 +306,11 @@ class WormholeNetworkSimulator:
                     m.to_inject -= 1
 
             # Tail release: once the source is drained, empty tail channels
-            # will never refill (flits only move forward).
+            # will never refill (flits only move forward).  O(1) per
+            # channel: chain/occupancy are deques.
             while chain and m.to_inject == 0 and occ[0] == 0:
-                owner[chain[0]] = None
-                chain.pop(0)
-                occ.pop(0)
+                owner[chain.popleft()] = None
+                occ.popleft()
 
             if m.consumed >= m.length:
                 m.completed_at = self.cycle
@@ -313,10 +335,21 @@ class WormholeNetworkSimulator:
 
     def step(self) -> None:
         """Advance the network by one cycle."""
+        perf = self.perf
+        t0 = time.perf_counter()
         self._generate_arrivals()
+        t1 = time.perf_counter()
         self._start_injections()
+        t2 = time.perf_counter()
         self._arbitrate()
+        t3 = time.perf_counter()
         self._move_flits()
+        t4 = time.perf_counter()
+        perf.arrivals_seconds += t1 - t0
+        perf.injection_seconds += t2 - t1
+        perf.arbitration_seconds += t3 - t2
+        perf.flit_move_seconds += t4 - t3
+        perf.cycles_executed += 1
         self.cycle += 1
 
     def run(self) -> SimulationResult:
@@ -351,7 +384,10 @@ class WormholeNetworkSimulator:
                 "routing": self.table.routing.name,
                 "rate_msgs_per_host_cycle": self.rate,
                 "adaptive": self.config.adaptive,
+                "engine": self.ENGINE_NAME,
+                **self.perf.meta_counters(),
             },
+            perf=self.perf.wall_times(),
         )
 
     # ------------------------------------------------------------------ #

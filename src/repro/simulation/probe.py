@@ -128,7 +128,9 @@ def probe_requirements(
     """Run a (trace-recording) simulator and estimate requirements.
 
     ``simulator`` must have been built with
-    ``SimulationConfig(record_trace=True)``; it is run for its configured
+    ``SimulationConfig(record_trace=True)`` — either engine from
+    :func:`repro.simulation.engine.make_simulator` works, and both record
+    the identical trace for the same seed; it is run for its configured
     warmup + measurement window (or stepped ``cycles`` cycles when given)
     and the recorded arrivals are aggregated.
     """

@@ -16,8 +16,8 @@ from typing import Dict, List, Sequence, Tuple
 from repro.parallel import WorkersLike, parallel_map
 from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import make_simulator
 from repro.simulation.metrics import SimulationResult
-from repro.simulation.network import WormholeNetworkSimulator
 from repro.simulation.traffic import TrafficPattern
 from repro.util.rng import derive_seed
 
@@ -55,9 +55,13 @@ _SweepJob = Tuple[RoutingTable, TrafficPattern, int, float, SimulationConfig]
 
 
 def _simulate_point(job: _SweepJob) -> LoadPoint:
-    """Run one sweep point (top-level so the process pool can pickle it)."""
+    """Run one sweep point (top-level so the process pool can pickle it).
+
+    The engine is chosen by ``cfg.engine``; both engines produce the same
+    payload for the same seed, so sweeps are engine-independent data.
+    """
     table, traffic, index, rate, cfg = job
-    sim = WormholeNetworkSimulator(table, traffic, rate, cfg)
+    sim = make_simulator(table, traffic, rate, cfg)
     return LoadPoint(index=index, rate=rate, result=sim.run())
 
 
@@ -107,7 +111,7 @@ def find_saturation_rate(
 
     def accepted_ratio(rate: float) -> SimulationResult:
         cfg = replace(config, seed=derive_seed(config.seed, "sat", int(rate * 1e7)))
-        sim = WormholeNetworkSimulator(table, traffic, rate, cfg)
+        sim = make_simulator(table, traffic, rate, cfg)
         return sim.run()
 
     # Grow hi until saturated (or give up and treat hi as unsaturable).

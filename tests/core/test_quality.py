@@ -73,6 +73,32 @@ class TestGlobalFunctions:
             dissimilarity_global(tiny_table, p) / similarity_global(tiny_table, p)
         )
 
+    def test_c_c_single_pass_matches_two_call_path(self, table16):
+        # clustering_coefficient derives both quadratic sums from one
+        # ``sq @ z`` product; it must agree with the explicit
+        # dissimilarity/similarity composition on every partition.
+        ev = QualityEvaluator(table16)
+        for s in range(100):
+            p = random_partition([4] * 4, 16, seed=s)
+            assert ev.clustering_coefficient(p) == pytest.approx(
+                ev.dissimilarity(p) / ev.similarity(p), rel=1e-12
+            )
+
+    def test_c_c_single_pass_uneven_clusters(self, table16):
+        ev = QualityEvaluator(table16)
+        for s in range(50):
+            p = random_partition([2, 3, 5, 6], 16, seed=1000 + s)
+            assert ev.clustering_coefficient(p) == pytest.approx(
+                ev.dissimilarity(p) / ev.similarity(p), rel=1e-12
+            )
+
+    def test_c_c_single_pass_error_messages(self, tiny_table):
+        ev = QualityEvaluator(tiny_table)
+        with pytest.raises(ValueError, match="F_G undefined"):
+            ev.clustering_coefficient(Partition([0, 1, 2, 3]))
+        with pytest.raises(ValueError, match="D_G undefined"):
+            ev.clustering_coefficient(Partition([0, 0, 0, 0]))
+
     def test_all_singletons_f_undefined(self, tiny_table):
         p = Partition([0, 1, 2, 3])
         with pytest.raises(ValueError, match="F_G undefined"):
