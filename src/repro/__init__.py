@@ -51,6 +51,13 @@ from repro.faults import (
     sample_fault_scenarios,
     schedule_degraded,
 )
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    collect_manifest,
+    trace_run,
+)
 from repro.parallel import (
     JobTimeoutError,
     detect_workers,
@@ -109,6 +116,11 @@ __all__ = [
     "JobTimeoutError",
     "CheckpointMismatch",
     "SweepCheckpoint",
+    "Tracer",
+    "MetricsRegistry",
+    "RunManifest",
+    "collect_manifest",
+    "trace_run",
     "FaultScenario",
     "sample_fault_scenarios",
     "DegradedNetwork",

@@ -31,6 +31,8 @@ import pickle
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.obs import trace as _trace
+
 PathLike = Union[str, Path]
 
 _MAGIC = "repro-sweep-checkpoint"
@@ -109,6 +111,9 @@ class SweepCheckpoint:
             self._results[int(entry["i"])] = pickle.loads(
                 base64.b64decode(entry["r"])
             )
+        _trace.event("checkpoint.load", path=str(self.path),
+                     completed=len(self._results), total=self.total,
+                     truncated_tail=self._rewrite_needed)
 
     @staticmethod
     def _parse_line(raw: str) -> Optional[Dict[str, Any]]:

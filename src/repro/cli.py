@@ -9,7 +9,13 @@
   comparison against random mappings;
 - ``simulate``  — sweep one or more mappings through the wormhole
   simulator and print latency/throughput tables;
-- ``figures``   — regenerate the paper's Figures 1–6 (text renderings).
+- ``figures``   — regenerate the paper's Figures 1–6 (text renderings);
+- ``report``    — summarize a JSONL trace produced with ``--trace``.
+
+``--trace PATH`` (global, also accepted after any execution subcommand)
+records a structured JSONL trace of the run — manifest, nested spans,
+events and a final metrics snapshot — without perturbing any result
+(telemetry is inert by contract; see DESIGN.md).
 
 Every command is a thin shell over the library; anything it prints can be
 reproduced with a few lines of Python (see examples/).
@@ -244,6 +250,17 @@ def cmd_failures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Summarize a JSONL trace file (``repro report PATH``)."""
+    from repro.obs.report import report_file
+
+    try:
+        print(report_file(args.trace_file, slowest=args.slowest))
+    except FileNotFoundError:
+        raise SystemExit(f"no trace file at {args.trace_file}")
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Regenerate the requested paper figures as text renderings."""
     from repro.experiments import (
@@ -285,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Communication-aware task scheduling (Orduña et al., "
                     "ICPP 2000) — reproduction toolkit",
     )
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a structured JSONL trace of the run "
+                             "(spans, events, metrics; inspect it with "
+                             "'repro report PATH')")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_topology_args(p, with_load=True):
@@ -304,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "are identical either way)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the distance/routing-table cache")
+        # SUPPRESS: only override the root-level --trace when actually
+        # given after the subcommand, so both positions work.
+        p.add_argument("--trace", metavar="PATH", default=argparse.SUPPRESS,
+                       help="write a structured JSONL trace of the run")
 
     p = sub.add_parser("topology", help="generate/describe a network")
     add_topology_args(p)
@@ -373,13 +398,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "(results are engine-independent)")
     p.set_defaults(func=cmd_figures)
 
+    p = sub.add_parser("report", help="summarize a JSONL trace file")
+    p.add_argument("trace_file", help="trace written by --trace PATH")
+    p.add_argument("--slowest", type=int, default=10,
+                   help="how many of the slowest spans to list (default: 10)")
+    p.set_defaults(func=cmd_report)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    With ``--trace PATH`` the whole command executes inside
+    :func:`repro.obs.run.trace_run`: the manifest (command, seed, engine,
+    workers, versions) is the file's first record and the final metrics
+    snapshot its last.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if trace_path and args.command != "report":
+        from repro.obs import collect_manifest, trace_run
+
+        manifest = collect_manifest(
+            args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            seed=getattr(args, "seed", None),
+            engine=getattr(args, "engine", None),
+            workers=getattr(args, "workers", None),
+        )
+        with trace_run(trace_path, manifest=manifest):
+            return args.func(args)
     return args.func(args)
 
 

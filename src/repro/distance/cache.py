@@ -35,6 +35,7 @@ from repro.distance.table import (
     build_distance_table,
     hop_distance_table,
 )
+from repro.obs import metrics as _metrics
 from repro.routing.base import RoutingAlgorithm
 from repro.routing.tables import RoutingTable
 from repro.topology.graph import Topology
@@ -97,10 +98,11 @@ class TableCache:
     callers must treat them as immutable, which every cached table type is.
     """
 
-    def __init__(self, maxsize: int = 32):
+    def __init__(self, maxsize: int = 32, *, name: str = "tables"):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
+        self.name = str(name)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -108,19 +110,33 @@ class TableCache:
         self._evictions = 0
 
     def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, building it on a miss."""
+        """Return the cached value for ``key``, building it on a miss.
+
+        Each lookup also ticks the ``cache.<name>.{hits,misses,evictions}``
+        counters on the active :class:`~repro.obs.metrics.MetricsRegistry`
+        (a no-op when telemetry is off), so traced runs report their
+        table-cache hit rates without polling :meth:`stats`.
+        """
         with self._lock:
             if key in self._entries:
                 self._hits += 1
                 self._entries.move_to_end(key)
-                return self._entries[key]
-            self._misses += 1
-            value = builder()
-            self._entries[key] = value
-            if len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self._evictions += 1
-            return value
+                value = self._entries[key]
+                evicted = False
+                hit = True
+            else:
+                self._misses += 1
+                value = builder()
+                self._entries[key] = value
+                evicted = len(self._entries) > self.maxsize
+                if evicted:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+                hit = False
+        _metrics.inc(f"cache.{self.name}.{'hits' if hit else 'misses'}")
+        if evicted:
+            _metrics.inc(f"cache.{self.name}.evictions")
+        return value
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     MappingRecord,
     paper_16switch_setup,
 )
+from repro.obs import trace as _trace
 from repro.parallel import WorkersLike
 from repro.simulation.config import SimulationConfig
 from repro.simulation.sweep import LoadPoint
@@ -81,23 +82,33 @@ def run_sim_figure(
     to a serial run.
     """
     config = config or default_sim_config()
-    op = setup.op_mapping()
-    randoms = setup.random_mappings(num_random)
-    mappings = [op] + randoms
+    with _trace.span(f"figure.{figure}", topology=setup.topology.name,
+                     num_random=num_random, engine=config.engine):
+        op = setup.op_mapping()
+        randoms = setup.random_mappings(num_random)
+        mappings = [op] + randoms
 
-    rates = setup.load_ladder(config, n=num_points)
-    sweeps = {m.name: setup.sweep(m, rates, config, workers=workers)
-              for m in mappings}
-    # Throughput = best accepted traffic observed anywhere: the dedicated
-    # deep-saturation probe can land past the knee where accepted dips
-    # slightly (tree saturation), so fold in the ladder maximum.
-    probes = setup.saturation_throughputs(mappings, config, workers=workers)
-    throughput = {}
-    for m in mappings:
-        ladder_max = max(
-            p.result.accepted_flits_per_switch_cycle for p in sweeps[m.name]
-        )
-        throughput[m.name] = max(probes[m.name], ladder_max)
+        rates = setup.load_ladder(config, n=num_points)
+        sweeps = {}
+        for m in mappings:
+            with _trace.span("figure.sweep", mapping=m.name, c_c=m.c_c):
+                sweeps[m.name] = setup.sweep(m, rates, config,
+                                             workers=workers)
+        # Throughput = best accepted traffic observed anywhere: the
+        # dedicated deep-saturation probe can land past the knee where
+        # accepted dips slightly (tree saturation), so fold in the ladder
+        # maximum.
+        probes = setup.saturation_throughputs(mappings, config,
+                                              workers=workers)
+        throughput = {}
+        for m in mappings:
+            ladder_max = max(
+                p.result.accepted_flits_per_switch_cycle
+                for p in sweeps[m.name]
+            )
+            throughput[m.name] = max(probes[m.name], ladder_max)
+            _trace.event("figure.mapping", figure=figure, mapping=m.name,
+                         c_c=m.c_c, throughput=throughput[m.name])
     return SimFigureResult(
         figure=figure,
         topology_name=setup.topology.name,

@@ -1,0 +1,66 @@
+"""Unified telemetry: structured tracing, metrics and run manifests.
+
+Every figure in the paper is the output of a long pipeline — Tabu
+restarts, flit-level simulation points, sweep aggregation — and this
+package is the one place that pipeline reports what it did and where the
+cycles went:
+
+- :mod:`repro.obs.trace`   — a :class:`Tracer` producing nested spans and
+  point events, scoped through a context variable so instrumented code
+  never threads a handle;
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and histograms (backed by the Welford/reservoir machinery in
+  :mod:`repro.util.stats`);
+- :mod:`repro.obs.sinks`   — pluggable event sinks (in-memory for tests,
+  JSONL files for runs);
+- :mod:`repro.obs.manifest` — a per-run :class:`RunManifest` capturing
+  the command, seeds, engine, worker count and package version;
+- :mod:`repro.obs.schema`  — the JSONL event schema and its validator;
+- :mod:`repro.obs.report`  — ``repro report``: summarize a trace file.
+
+The determinism contract (locked down by the engine-parity and
+parallel-determinism suites): telemetry is **inert**.  It never touches
+any RNG stream or canonical result payload — enabling a tracer changes
+what is *recorded*, never what is *computed* — and with no tracer active
+every instrumentation point is a near-zero-cost no-op.
+"""
+
+from repro.obs.manifest import RunManifest, collect_manifest
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    use_registry,
+)
+from repro.obs.run import trace_run
+from repro.obs.sinks import JsonlSink, MemorySink
+from repro.obs.trace import (
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    event,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "current_tracer",
+    "use_tracer",
+    "span",
+    "event",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "current_registry",
+    "use_registry",
+    "MemorySink",
+    "JsonlSink",
+    "RunManifest",
+    "collect_manifest",
+    "trace_run",
+]

@@ -1,0 +1,113 @@
+"""Per-run manifests: what was run, with which knobs, by which build.
+
+A trace file is only evidence if it says what produced it.  The
+:class:`RunManifest` is the first record of every ``--trace`` run and
+captures the command, its arguments, the seed, the engine, the worker
+count (as requested and as resolved) and the package/python versions —
+enough to re-run the pipeline that produced the trace, and enough for
+``repro report`` to label its output.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class RunManifest:
+    """Identity of one traced run.
+
+    ``created_unix`` is wall-clock (``time.time``) — the only wall-clock
+    timestamp in a trace; every span/event uses the monotonic clock.
+    ``workers`` holds the request as given (``None``, an int, or
+    ``"auto"``); ``workers_resolved`` the concrete count it resolved to.
+    """
+
+    command: str
+    argv: List[str] = field(default_factory=list)
+    seed: Optional[int] = None
+    engine: Optional[str] = None
+    workers: Optional[str] = None
+    workers_resolved: int = 1
+    package_version: str = ""
+    python_version: str = ""
+    platform: str = ""
+    created_unix: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, Any]:
+        """The JSONL record form (``type: "manifest"``)."""
+        return {
+            "type": "manifest",
+            "command": self.command,
+            "argv": list(self.argv),
+            "seed": self.seed,
+            "engine": self.engine,
+            "workers": self.workers,
+            "workers_resolved": self.workers_resolved,
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+            "platform": self.platform,
+            "created_unix": self.created_unix,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "RunManifest":
+        """Parse a manifest record back into a :class:`RunManifest`."""
+        if record.get("type") != "manifest":
+            raise ValueError(
+                f"not a manifest record: type={record.get('type')!r}"
+            )
+        return cls(
+            command=record["command"],
+            argv=list(record.get("argv", [])),
+            seed=record.get("seed"),
+            engine=record.get("engine"),
+            workers=record.get("workers"),
+            workers_resolved=int(record.get("workers_resolved", 1)),
+            package_version=record.get("package_version", ""),
+            python_version=record.get("python_version", ""),
+            platform=record.get("platform", ""),
+            created_unix=float(record.get("created_unix", 0.0)),
+            extra=dict(record.get("extra", {})),
+        )
+
+
+def collect_manifest(
+    command: str,
+    argv: Optional[List[str]] = None,
+    *,
+    seed: Optional[int] = None,
+    engine: Optional[str] = None,
+    workers: Any = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> RunManifest:
+    """Build a manifest for the current process and configuration.
+
+    ``workers`` accepts anything :func:`repro.parallel.resolve_workers`
+    does; both the raw request and the resolved count are recorded.
+    """
+    from repro import __version__
+    from repro.parallel import resolve_workers
+
+    return RunManifest(
+        command=command,
+        argv=list(argv) if argv is not None else [],
+        seed=seed,
+        engine=engine,
+        workers=None if workers is None else str(workers),
+        workers_resolved=resolve_workers(workers),
+        package_version=__version__,
+        python_version=sys.version.split()[0],
+        platform=platform.platform(),
+        created_unix=time.time(),
+        extra=dict(extra or {}),
+    )
+
+
+__all__ = ["RunManifest", "collect_manifest"]

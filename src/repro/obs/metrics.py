@@ -1,0 +1,209 @@
+"""A registry of counters, gauges and histograms.
+
+The registry is the numeric half of the telemetry layer: monotonically
+increasing :class:`Counter` totals (cache hits, arbitration conflicts,
+retries), last-value :class:`Gauge` readings (worker counts), and
+:class:`Histogram` distributions backed by the same Welford accumulator
+and reservoir sampler the simulator uses for latency statistics
+(:mod:`repro.util.stats`) — constant memory no matter how many
+observations flow in.
+
+Like the tracer, the active registry is carried in a context variable:
+instrumented code calls the module-level :func:`inc` / :func:`set_gauge`
+/ :func:`observe` helpers, which are near-zero-cost no-ops when no
+registry is installed.  Histograms draw their reservoir randomness from a
+private ``random.Random`` seeded constantly, so recording a metric can
+never perturb any experiment RNG stream.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, Optional
+
+from repro.util.stats import ReservoirSampler, RunningStats
+
+_ACTIVE_REGISTRY: ContextVar[Optional["MetricsRegistry"]] = ContextVar(
+    "repro_obs_registry", default=None
+)
+
+
+class Counter:
+    """A monotonically increasing total (float-valued; starts at 0)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins instantaneous reading."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        """Record the current reading."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A bounded-memory distribution: Welford moments plus a reservoir.
+
+    ``observe`` folds each sample into a
+    :class:`~repro.util.stats.RunningStats` (mean/std/min/max) and offers
+    it to a :class:`~repro.util.stats.ReservoirSampler` for percentiles.
+    The reservoir's RNG is private and constant-seeded — deterministic
+    for a given observation stream, invisible to every other RNG.
+    """
+
+    __slots__ = ("name", "stats", "reservoir")
+
+    def __init__(self, name: str, reservoir_capacity: int = 512):
+        self.name = name
+        self.stats = RunningStats()
+        self.reservoir = ReservoirSampler(capacity=reservoir_capacity, seed=0)
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the histogram (NaN is ignored)."""
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.stats.add(value)
+        self.reservoir.add(value)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Headline statistics plus p50/p95/p99 as a JSON-ready dict."""
+        out: Dict[str, float] = {
+            "count": self.stats.count,
+            "mean": self.stats.mean,
+            "std": self.stats.std,
+            "min": self.stats.min,
+            "max": self.stats.max,
+        }
+        out.update(self.reservoir.percentiles())
+        return out
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with get-or-create semantics.
+
+    Creation is serialized behind a lock (the distance-table cache updates
+    its counters from multiple threads); increments on an existing
+    instrument are plain attribute updates — the instruments' consumers
+    here are tolerant of the benign races that leaves possible.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram(name))
+        return h
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Every instrument's current state as one JSON-ready dict."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.snapshot()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The registry active in this context, or ``None`` (metrics off)."""
+    return _ACTIVE_REGISTRY.get()
+
+
+@contextmanager
+def use_registry(
+    registry: Optional[MetricsRegistry],
+) -> Iterator[Optional[MetricsRegistry]]:
+    """Make ``registry`` the active registry for the duration of the block."""
+    token = _ACTIVE_REGISTRY.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE_REGISTRY.reset(token)
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment a counter on the active registry; no-op when none."""
+    registry = _ACTIVE_REGISTRY.get()
+    if registry is not None:
+        registry.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry; no-op when none."""
+    registry = _ACTIVE_REGISTRY.get()
+    if registry is not None:
+        registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Feed a histogram on the active registry; no-op when none."""
+    registry = _ACTIVE_REGISTRY.get()
+    if registry is not None:
+        registry.histogram(name).observe(value)
+
+
+def deactivate() -> None:
+    """Unconditionally clear the active registry in this context.
+
+    Fork-safety hook for pool workers; see
+    :func:`repro.obs.trace.deactivate`.
+    """
+    _ACTIVE_REGISTRY.set(None)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "use_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+    "deactivate",
+]

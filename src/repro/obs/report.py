@@ -1,0 +1,242 @@
+"""``repro report`` — summarize a JSONL trace file.
+
+Reads a trace produced by ``repro --trace PATH ...`` (or any
+:func:`repro.obs.run.trace_run` stream) and renders, as plain text:
+
+- the run manifest (command, seed, engine, workers, versions);
+- a per-phase time breakdown — total and *self* time per span name,
+  where self time subtracts child spans so nested phases don't double
+  count;
+- the slowest individual spans;
+- cache hit/miss rates and engine counters from the final metrics
+  snapshot;
+- the search convergence table and an ASCII trajectory plot built from
+  the per-restart ``search.restart`` events.
+
+Every section degrades gracefully: a trace with no search events simply
+has no convergence section, and so on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.manifest import RunManifest
+from repro.obs.trace import TraceEvent
+from repro.util.asciiplot import line_plot
+from repro.util.reporting import Table
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class TraceData:
+    """A parsed trace file: manifest, spans, events, metrics snapshots."""
+
+    manifest: Optional[RunManifest] = None
+    spans: List[TraceEvent] = field(default_factory=list)
+    events: List[TraceEvent] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def events_named(self, name: str) -> List[TraceEvent]:
+        """All point events with the given name, in file order."""
+        return [e for e in self.events if e.name == name]
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        """The counters section of the last metrics snapshot (may be empty)."""
+        return self.metrics.get("counters", {})
+
+
+def load_trace(path: PathLike) -> TraceData:
+    """Parse a JSONL trace file into a :class:`TraceData`.
+
+    Unknown record types are skipped (forward compatibility); when a file
+    carries several metrics snapshots the last one wins.
+    """
+    data = TraceData()
+    with open(Path(path)) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            rtype = record.get("type")
+            if rtype == "manifest":
+                data.manifest = RunManifest.from_record(record)
+            elif rtype == "span":
+                data.spans.append(TraceEvent.from_record(record))
+            elif rtype == "event":
+                data.events.append(TraceEvent.from_record(record))
+            elif rtype == "metrics":
+                data.metrics = record.get("metrics", {})
+    return data
+
+
+def _phase_breakdown(spans: List[TraceEvent]) -> Table:
+    """Per-span-name totals with self time (children subtracted)."""
+    child_time: Dict[int, float] = {}
+    for sp in spans:
+        if sp.parent_id is not None and sp.duration is not None:
+            child_time[sp.parent_id] = (child_time.get(sp.parent_id, 0.0)
+                                        + sp.duration)
+    totals: Dict[str, List[float]] = {}  # name -> [count, total, self]
+    for sp in spans:
+        dur = sp.duration or 0.0
+        self_time = max(0.0, dur - child_time.get(sp.span_id or -1, 0.0))
+        row = totals.setdefault(sp.name, [0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += dur
+        row[2] += self_time
+    traced = sum(sp.duration or 0.0 for sp in spans if sp.parent_id is None)
+    t = Table(["phase", "count", "total s", "self s", "% of run"],
+              title="per-phase time breakdown")
+    for name, (count, total, self_time) in sorted(
+            totals.items(), key=lambda kv: -kv[1][2]):
+        share = 100.0 * self_time / traced if traced > 0 else math.nan
+        t.add_row([name, count, total, self_time, share], digits=3)
+    return t
+
+
+def _slowest_spans(spans: List[TraceEvent], limit: int) -> Table:
+    """The ``limit`` longest individual spans with a context hint."""
+    t = Table(["span", "duration s", "context"],
+              title=f"slowest spans (top {limit})")
+    ranked = sorted(spans, key=lambda sp: -(sp.duration or 0.0))[:limit]
+    for sp in ranked:
+        hint = ", ".join(
+            f"{k}={v}" for k, v in list(sp.attrs.items())[:3]
+            if not isinstance(v, (list, dict))
+        )
+        t.add_row([sp.name, sp.duration or 0.0, hint or "-"], digits=4)
+    return t
+
+
+def _cache_section(counters: Dict[str, float]) -> Optional[Table]:
+    """Hit/miss/eviction rates per cache, from ``cache.*`` counters."""
+    caches: Dict[str, Dict[str, float]] = {}
+    for name, value in counters.items():
+        if not name.startswith("cache."):
+            continue
+        _, cache_name, kind = name.split(".", 2)
+        caches.setdefault(cache_name, {})[kind] = value
+    if not caches:
+        return None
+    t = Table(["cache", "hits", "misses", "evictions", "hit rate"],
+              title="distance/routing-table caches")
+    for cache_name, vals in sorted(caches.items()):
+        hits = vals.get("hits", 0.0)
+        misses = vals.get("misses", 0.0)
+        rate = hits / (hits + misses) if hits + misses else math.nan
+        t.add_row([cache_name, hits, misses, vals.get("evictions", 0.0), rate],
+                  digits=3)
+    return t
+
+
+def _engine_section(counters: Dict[str, float]) -> Optional[Table]:
+    """Engine counter totals, one row per engine, from ``engine.*``."""
+    engines: Dict[str, Dict[str, float]] = {}
+    for name, value in counters.items():
+        if not name.startswith("engine."):
+            continue
+        _, engine_name, kind = name.split(".", 2)
+        engines.setdefault(engine_name, {})[kind] = value
+    if not engines:
+        return None
+    cols = ["engine", "runs", "cycles exec", "cycles skipped",
+            "arb conflicts", "conflict rate"]
+    t = Table(cols, title="simulation engines")
+    for engine_name, vals in sorted(engines.items()):
+        requests = vals.get("arb_requests", 0.0)
+        conflicts = vals.get("arb_conflicts", 0.0)
+        t.add_row([
+            engine_name,
+            vals.get("runs", 0.0),
+            vals.get("cycles_executed", 0.0),
+            vals.get("cycles_skipped", 0.0),
+            conflicts,
+            conflicts / requests if requests else math.nan,
+        ], digits=3)
+    return t
+
+
+def _search_section(data: TraceData, max_series: int = 6) -> List[str]:
+    """Convergence table + trajectory plot from ``search.restart`` events."""
+    restarts = data.events_named("search.restart")
+    if not restarts:
+        return []
+    t = Table(["restart", "method", "iters", "evals", "best F_G",
+               "accepted", "uphill", "tabu masked"],
+              title="search convergence (per restart)")
+    series: Dict[str, Any] = {}
+    for ev in restarts:
+        a = ev.attrs
+        t.add_row([
+            a.get("index", "-"), a.get("method", "-"),
+            a.get("iterations", "-"), a.get("evaluations", "-"),
+            a.get("best_value", math.nan), a.get("accepted", "-"),
+            a.get("uphill", "-"), a.get("tabu_masked", "-"),
+        ], digits=4)
+        trace = a.get("trace") or []
+        if trace and len(series) < max_series:
+            # Best-so-far envelope: the convergence view of the raw F series.
+            best, env = math.inf, []
+            for v in trace:
+                if v is not None and v < best:
+                    best = v
+                env.append(best)
+            series[f"restart {a.get('index', len(series))}"] = (
+                list(range(len(env))), env,
+            )
+    out = [t.render()]
+    if series:
+        out.append(line_plot(
+            series, width=60, height=14,
+            x_label="iteration", y_label="best F_G so far",
+        ))
+    return out
+
+
+def render_report(data: TraceData, *, slowest: int = 10) -> str:
+    """Render a full text report of one parsed trace."""
+    sections: List[str] = []
+    m = data.manifest
+    if m is not None:
+        sections.append(
+            "run manifest:\n"
+            f"  command:  {m.command} {' '.join(m.argv)}\n"
+            f"  seed={m.seed}  engine={m.engine}  "
+            f"workers={m.workers or 'default'} (resolved {m.workers_resolved})\n"
+            f"  repro {m.package_version} / python {m.python_version} / "
+            f"{m.platform}"
+        )
+    if data.spans:
+        sections.append(_phase_breakdown(data.spans).render())
+        sections.append(_slowest_spans(data.spans, slowest).render())
+    else:
+        sections.append("(no spans recorded)")
+    for table in (_cache_section(data.counters),
+                  _engine_section(data.counters)):
+        if table is not None:
+            sections.append(table.render())
+    sections.extend(_search_section(data))
+    retries = data.events_named("parallel.job.retry")
+    fallbacks = data.events_named("parallel.fallback")
+    if retries or fallbacks:
+        sections.append(
+            f"execution-layer recoveries: {len(retries)} job retries, "
+            f"{len(fallbacks)} pool fallbacks"
+        )
+    return "\n\n".join(sections)
+
+
+def report_file(path: PathLike, *, slowest: int = 10) -> str:
+    """Load ``path`` and render its report (the ``repro report`` body)."""
+    return render_report(load_trace(path), slowest=slowest)
+
+
+__all__ = ["TraceData", "load_trace", "render_report", "report_file"]

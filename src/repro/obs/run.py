@@ -1,0 +1,70 @@
+"""Run-scoped wiring: one context manager that turns telemetry on.
+
+:func:`trace_run` is what ``repro --trace PATH`` uses: it opens a JSONL
+sink, writes the manifest as the first record, installs a fresh
+:class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry` into the context variables,
+and on exit appends a final ``metrics`` snapshot record and closes the
+file.  Everything instrumented in the library lights up for the duration
+of the block and goes quiet after it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.sinks import JsonlSink, PathLike, Sink
+from repro.obs.trace import Tracer, use_tracer
+
+
+@contextmanager
+def trace_run(
+    path_or_sink: Union[PathLike, Sink],
+    *,
+    manifest: Optional[RunManifest] = None,
+) -> Iterator[Tracer]:
+    """Enable tracing + metrics for the block, writing one trace stream.
+
+    Parameters
+    ----------
+    path_or_sink:
+        A JSONL file path (the usual case) or any pre-built sink (tests
+        pass a :class:`~repro.obs.sinks.MemorySink`).
+    manifest:
+        Written as the stream's first record when given.
+
+    Yields the active :class:`~repro.obs.trace.Tracer`; the paired
+    :class:`~repro.obs.metrics.MetricsRegistry` is reachable through
+    :func:`repro.obs.metrics.current_registry` and is snapshotted into
+    the stream's final ``metrics`` record on exit (also on error, so a
+    crashed run still carries its numbers).
+    """
+    sink: Sink
+    if hasattr(path_or_sink, "emit"):
+        sink = path_or_sink  # type: ignore[assignment]
+        own_sink = False
+    else:
+        sink = JsonlSink(path_or_sink)
+        own_sink = True
+    if manifest is not None:
+        sink.emit(manifest.to_record())
+    tracer = Tracer(sink)
+    registry = MetricsRegistry()
+    try:
+        with use_tracer(tracer), use_registry(registry):
+            yield tracer
+    finally:
+        sink.emit({
+            "type": "metrics",
+            "t": time.perf_counter(),
+            "metrics": registry.snapshot(),
+        })
+        if own_sink:
+            sink.close()
+
+
+__all__ = ["trace_run"]

@@ -1,0 +1,138 @@
+"""The JSONL trace-file schema and its validator.
+
+A trace file is a sequence of JSON lines, each a record of one of four
+types:
+
+- ``manifest`` — run identity (first record of a file, at most one);
+- ``span``     — a closed interval: name, ids, monotonic start/end/duration;
+- ``event``    — a named point in time;
+- ``metrics``  — a registry snapshot (counters/gauges/histograms).
+
+Validation here is deliberately dependency-free (no jsonschema in the
+image): :func:`validate_record` checks required fields and types,
+:func:`validate_trace_file` streams a file and returns per-type counts.
+CI's trace-smoke step and the round-trip tests both go through these.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+PathLike = Union[str, Path]
+
+#: Record types a trace file may contain.
+RECORD_TYPES = ("manifest", "span", "event", "metrics")
+
+_NUMERIC = (int, float)
+
+
+class SchemaError(ValueError):
+    """A trace record (or file) violates the event schema."""
+
+
+def _require(record: Dict[str, Any], name: str, types, context: str) -> Any:
+    if name not in record:
+        raise SchemaError(f"{context}: missing field {name!r}")
+    value = record[name]
+    if types is not None and not isinstance(value, types):
+        raise SchemaError(
+            f"{context}: field {name!r} has type {type(value).__name__}, "
+            f"expected {types}"
+        )
+    return value
+
+
+def _optional(record: Dict[str, Any], name: str, types, context: str) -> Any:
+    value = record.get(name)
+    if value is not None and not isinstance(value, types):
+        raise SchemaError(
+            f"{context}: field {name!r} has type {type(value).__name__}, "
+            f"expected {types} or null"
+        )
+    return value
+
+
+def validate_record(record: Dict[str, Any]) -> str:
+    """Validate one trace record; returns its type or raises :class:`SchemaError`."""
+    if not isinstance(record, dict):
+        raise SchemaError(f"record is {type(record).__name__}, expected object")
+    rtype = record.get("type")
+    if rtype not in RECORD_TYPES:
+        raise SchemaError(
+            f"unknown record type {rtype!r}; expected one of {RECORD_TYPES}"
+        )
+    ctx = f"{rtype} record"
+    if rtype == "manifest":
+        _require(record, "command", str, ctx)
+        _require(record, "argv", list, ctx)
+        _require(record, "package_version", str, ctx)
+        _require(record, "python_version", str, ctx)
+        _require(record, "created_unix", _NUMERIC, ctx)
+        _require(record, "workers_resolved", int, ctx)
+        _optional(record, "seed", int, ctx)
+        _optional(record, "engine", str, ctx)
+        _optional(record, "extra", dict, ctx)
+    elif rtype == "span":
+        _require(record, "name", str, ctx)
+        _require(record, "span_id", int, ctx)
+        _optional(record, "parent_id", int, ctx)
+        t0 = _require(record, "t_start", _NUMERIC, ctx)
+        t1 = _require(record, "t_end", _NUMERIC, ctx)
+        dur = _require(record, "duration", _NUMERIC, ctx)
+        _require(record, "attrs", dict, ctx)
+        if dur < 0:
+            raise SchemaError(f"{ctx}: negative duration {dur}")
+        if t1 < t0:
+            raise SchemaError(f"{ctx}: t_end {t1} before t_start {t0}")
+    elif rtype == "event":
+        _require(record, "name", str, ctx)
+        _require(record, "t", _NUMERIC, ctx)
+        _optional(record, "span_id", int, ctx)
+        _require(record, "attrs", dict, ctx)
+    else:  # metrics
+        _require(record, "t", _NUMERIC, ctx)
+        metrics = _require(record, "metrics", dict, ctx)
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics or not isinstance(metrics[section], dict):
+                raise SchemaError(
+                    f"{ctx}: metrics.{section} missing or not an object"
+                )
+    return rtype
+
+
+def validate_trace_file(path: PathLike) -> Dict[str, int]:
+    """Validate a whole JSONL trace file; returns per-type record counts.
+
+    Raises :class:`SchemaError` on the first invalid line, on a manifest
+    appearing anywhere but first, or on an empty file.
+    """
+    counts = {rtype: 0 for rtype in RECORD_TYPES}
+    total = 0
+    with open(Path(path)) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{lineno}: invalid JSON: {exc}") from None
+            try:
+                rtype = validate_record(record)
+            except SchemaError as exc:
+                raise SchemaError(f"{path}:{lineno}: {exc}") from None
+            if rtype == "manifest" and total > 0:
+                raise SchemaError(
+                    f"{path}:{lineno}: manifest must be the first record"
+                )
+            counts[rtype] += 1
+            total += 1
+    if total == 0:
+        raise SchemaError(f"{path}: empty trace file")
+    return counts
+
+
+__all__ = ["RECORD_TYPES", "SchemaError", "validate_record",
+           "validate_trace_file"]

@@ -1,0 +1,118 @@
+"""Pluggable sinks for trace records.
+
+A sink receives the plain-dict records produced by
+:class:`repro.obs.trace.Tracer` (and the manifest/metrics records written
+by :func:`repro.obs.run.trace_run`).  Two implementations cover the two
+real uses: :class:`MemorySink` for tests and :class:`JsonlSink` for runs.
+
+JSONL hygiene: floating telemetry values can legitimately be NaN (e.g. an
+average latency with zero delivered messages).  ``json.dumps`` would emit
+the non-standard ``NaN`` token, breaking strict downstream parsers, so
+:class:`JsonlSink` sanitizes non-finite floats to ``null`` before
+writing.  This only affects the *recorded* form — telemetry never feeds
+back into computation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Protocol, Union
+
+PathLike = Union[str, Path]
+
+
+class Sink(Protocol):
+    """What a tracer needs from a sink: ``emit`` plus ``close``."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Receive one JSON-ready trace record."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+        ...
+
+
+class MemorySink:
+    """Collects records in a list — the test and introspection sink."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self.closed = False
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Append one record to :attr:`records`."""
+        self.records.append(record)
+
+    def close(self) -> None:
+        """Mark the sink closed (records stay readable)."""
+        self.closed = True
+
+    def by_type(self, rtype: str) -> List[Dict[str, Any]]:
+        """All collected records with ``record["type"] == rtype``."""
+        return [r for r in self.records if r.get("type") == rtype]
+
+    def by_name(self, name: str) -> List[Dict[str, Any]]:
+        """All collected span/event records with the given name."""
+        return [r for r in self.records if r.get("name") == name]
+
+
+def sanitize(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None`` (JSON-safe).
+
+    Tuples become lists and dict keys are stringified, matching what a
+    JSON round-trip would produce anyway; everything else passes through.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(v) for v in value]
+    return value
+
+
+class JsonlSink:
+    """Appends each record as one strict-JSON line to a file.
+
+    The file (and its parent directories) are created on construction.
+    Each record is flushed as it is written, and writes are guarded by
+    the opening process id: a ``fork``ed child inherits both the open
+    handle *and* any buffered bytes, so without the flush-per-record +
+    PID guard a pool worker would interleave its own records into the
+    parent's trace and re-flush the inherited buffer on exit,
+    duplicating everything written before the fork.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[Any] = open(self.path, "w")
+        self._pid = os.getpid()
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Write one record as a JSON line (non-finite floats → null)."""
+        if self._fh is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        if os.getpid() != self._pid:
+            return
+        self._fh.write(json.dumps(sanitize(record), allow_nan=False) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent).
+
+        In a forked child the inherited handle is dropped without
+        flushing — the file belongs to the parent.
+        """
+        if self._fh is not None:
+            if os.getpid() == self._pid:
+                self._fh.flush()
+            self._fh.close()
+            self._fh = None
+
+
+__all__ = ["Sink", "MemorySink", "JsonlSink", "sanitize"]

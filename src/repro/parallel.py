@@ -47,6 +47,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, TypeVar, Union
 
 from repro.checkpoint import SweepCheckpoint
+from repro.obs import trace as _trace
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -123,18 +124,31 @@ def _record(checkpoint: Optional[SweepCheckpoint], index: int,
 def _run_serial(fn: Callable[[T], R], job_list: List[T], results: List,
                 missing: List[int], retries: int,
                 checkpoint: Optional[SweepCheckpoint]) -> None:
-    """Run ``missing`` jobs in order in this process, with retries."""
+    """Run ``missing`` jobs in order in this process, with retries.
+
+    Each job's lifecycle is reported as structured telemetry events
+    (``parallel.job.started`` / ``.retry`` / ``.completed``); the retry
+    event carries the attempt number, the backoff delay and the error —
+    no-ops when no tracer is active.
+    """
     for i in missing:
         attempt = 0
+        _trace.event("parallel.job.started", job=i, mode="serial")
         while True:
             try:
                 results[i] = fn(job_list[i])
                 break
-            except Exception:
+            except Exception as exc:
                 if attempt >= retries:
                     raise
-                _sleep(_backoff_delay(attempt))
+                delay = _backoff_delay(attempt)
+                _trace.event("parallel.job.retry", job=i, mode="serial",
+                             attempt=attempt + 1, retries=retries,
+                             delay_seconds=delay, error=repr(exc))
+                _sleep(delay)
                 attempt += 1
+        _trace.event("parallel.job.completed", job=i, mode="serial",
+                     attempts=attempt + 1)
         _record(checkpoint, i, results[i])
 
 
@@ -149,6 +163,8 @@ def _run_pool(pool: ProcessPoolExecutor, fn: Callable[[T], R],
     exception once its retries are spent.
     """
     futures = {i: pool.submit(fn, job_list[i]) for i in missing}
+    for i in missing:
+        _trace.event("parallel.job.scheduled", job=i, mode="pool")
     attempts = {i: 0 for i in missing}
     for i in missing:
         while True:
@@ -160,19 +176,32 @@ def _run_pool(pool: ProcessPoolExecutor, fn: Callable[[T], R],
             except _FuturesTimeout:
                 if attempts[i] >= retries:
                     futures[i].cancel()
+                    _trace.event("parallel.job.timed_out", job=i, mode="pool",
+                                 timeout_seconds=timeout,
+                                 attempts=attempts[i] + 1)
                     raise JobTimeoutError(
                         f"job {i} exceeded the per-job timeout of {timeout}s"
                         + (f" after {retries} retries" if retries else "")
                     ) from None
                 attempts[i] += 1
+                _trace.event("parallel.job.retry", job=i, mode="pool",
+                             attempt=attempts[i], retries=retries,
+                             delay_seconds=0.0,
+                             error=f"timeout after {timeout}s")
                 futures[i].cancel()
                 futures[i] = pool.submit(fn, job_list[i])
-            except Exception:
+            except Exception as exc:
                 if attempts[i] >= retries:
                     raise
-                _sleep(_backoff_delay(attempts[i]))
+                delay = _backoff_delay(attempts[i])
+                _trace.event("parallel.job.retry", job=i, mode="pool",
+                             attempt=attempts[i] + 1, retries=retries,
+                             delay_seconds=delay, error=repr(exc))
+                _sleep(delay)
                 attempts[i] += 1
                 futures[i] = pool.submit(fn, job_list[i])
+        _trace.event("parallel.job.completed", job=i, mode="pool",
+                     attempts=attempts[i] + 1)
         _record(checkpoint, i, results[i])
 
 
@@ -223,46 +252,74 @@ def parallel_map(
         if checkpoint.total is None:
             checkpoint.total = n_jobs
     missing = [i for i in range(n_jobs) if results[i] is _PENDING]
+    if checkpoint is not None and n_jobs > len(missing):
+        _trace.event("checkpoint.resume", path=str(checkpoint.path),
+                     completed=n_jobs - len(missing), total=n_jobs)
     if not missing:
         return results
     n = resolve_workers(workers)
-    if n <= 1 or len(missing) <= 1:
-        _run_serial(fn, job_list, results, missing, retries, checkpoint)
-        return results
-    try:
-        pool = ProcessPoolExecutor(max_workers=min(n, len(missing)))
-    except OSError as exc:
-        _warn_fallback(exc, len(missing), n_jobs)
-        _run_serial(fn, job_list, results, missing, retries, checkpoint)
-        return results
-    graceful = True
-    try:
-        _run_pool(pool, fn, job_list, results, missing, retries, timeout,
-                  checkpoint)
-    except JobTimeoutError:
-        # JobTimeoutError subclasses TimeoutError (an OSError): keep it out
-        # of the pool-died fallback below — re-running a hung job serially
-        # would hang the caller instead.
-        graceful = False
-        pool.shutdown(wait=False, cancel_futures=True)
-        raise
-    except (BrokenProcessPool, OSError) as exc:
-        graceful = False
-        pool.shutdown(wait=False, cancel_futures=True)
-        still_missing = [i for i in range(n_jobs) if results[i] is _PENDING]
-        _warn_fallback(exc, len(still_missing), n_jobs)
-        _run_serial(fn, job_list, results, still_missing, retries, checkpoint)
-    except BaseException:
-        graceful = False
-        # A job failed for good (or timed out): abandon the pool without
-        # waiting on stragglers; completed results are already
-        # checkpointed for a later resume.
-        pool.shutdown(wait=False, cancel_futures=True)
-        raise
-    finally:
-        if graceful:
-            pool.shutdown(wait=True)
+    with _trace.span("parallel.map", jobs=n_jobs, pending=len(missing),
+                     workers=n) as sp:
+        if n <= 1 or len(missing) <= 1:
+            sp.set(mode="serial")
+            _run_serial(fn, job_list, results, missing, retries, checkpoint)
+            return results
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(n, len(missing)),
+                                       initializer=_worker_init)
+        except OSError as exc:
+            sp.set(mode="serial-fallback")
+            _warn_fallback(exc, len(missing), n_jobs)
+            _run_serial(fn, job_list, results, missing, retries, checkpoint)
+            return results
+        sp.set(mode="pool")
+        graceful = True
+        try:
+            _run_pool(pool, fn, job_list, results, missing, retries, timeout,
+                      checkpoint)
+        except JobTimeoutError:
+            # JobTimeoutError subclasses TimeoutError (an OSError): keep it
+            # out of the pool-died fallback below — re-running a hung job
+            # serially would hang the caller instead.
+            graceful = False
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        except (BrokenProcessPool, OSError) as exc:
+            graceful = False
+            pool.shutdown(wait=False, cancel_futures=True)
+            still_missing = [i for i in range(n_jobs) if results[i] is _PENDING]
+            sp.set(mode="pool-then-serial")
+            _warn_fallback(exc, len(still_missing), n_jobs)
+            _run_serial(fn, job_list, results, still_missing, retries,
+                        checkpoint)
+        except BaseException:
+            graceful = False
+            # A job failed for good (or timed out): abandon the pool without
+            # waiting on stragglers; completed results are already
+            # checkpointed for a later resume.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            if graceful:
+                pool.shutdown(wait=True)
     return results
+
+
+def _worker_init() -> None:
+    """Detach telemetry in pool workers.
+
+    Under the ``fork`` start method a worker inherits the parent's
+    active tracer/registry contextvars — and through them the parent's
+    open trace sink.  Telemetry for pooled work is emitted parent-side
+    from the returned results, so workers drop the inherited context;
+    this keeps the serial and pooled event streams identical and the
+    trace file single-writer.
+    """
+    from repro.obs import metrics as _obs_metrics
+    from repro.obs import trace as _obs_trace
+
+    _obs_trace.deactivate()
+    _obs_metrics.deactivate()
 
 
 def _warn_fallback(exc: BaseException, missing: int, total: int) -> None:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.mapping import Partition, random_partition
 from repro.core.quality import QualityEvaluator, TableLike
+from repro.obs import trace as _trace
 from repro.parallel import WorkersLike, parallel_map
 from repro.search.state import PartitionState
 from repro.util.rng import SeedLike, as_rng, spawn_rngs
@@ -134,13 +135,50 @@ class SearchMethod(ABC):
         ``initial`` lets callers warm-start from a known partition (it is
         given to the first start only); methods that are population- or
         enumeration-based may ignore it.
+
+        When telemetry is active the whole run is wrapped in a
+        ``search.<name>`` span and one ``search.restart`` event is emitted
+        per start (from the parent process, so serial and pooled runs
+        trace identically).  Telemetry never touches the RNG streams.
         """
-        if self.restarts <= 1:
-            return self._run_single(objective, as_rng(seed), initial)
-        rngs = spawn_rngs(seed, self.restarts)
-        jobs = [(self, objective, i, rng, initial) for i, rng in enumerate(rngs)]
-        return self._merge_starts(parallel_map(_execute_start, jobs,
-                                               workers=self.workers))
+        with _trace.span(f"search.{self.name}",
+                         restarts=self.restarts) as sp:
+            if self.restarts <= 1:
+                result = self._run_single(objective, as_rng(seed), initial)
+                self._emit_restart_events([result])
+            else:
+                rngs = spawn_rngs(seed, self.restarts)
+                jobs = [(self, objective, i, rng, initial)
+                        for i, rng in enumerate(rngs)]
+                starts = parallel_map(_execute_start, jobs,
+                                      workers=self.workers)
+                self._emit_restart_events(starts)
+                result = self._merge_starts(starts)
+            sp.set(best_value=result.best_value,
+                   iterations=result.iterations,
+                   evaluations=result.evaluations)
+            return result
+
+    _RESTART_META_KEYS = ("accepted", "uphill", "tabu_masked",
+                          "local_min_visits")
+
+    def _emit_restart_events(self, starts: Sequence["SearchResult"]) -> None:
+        """Emit one ``search.restart`` event per start (telemetry only).
+
+        Runs in the parent even when the starts executed on a process
+        pool — workers have no tracer installed — so serial and parallel
+        runs produce the same event stream.  A no-op without a tracer.
+        """
+        if _trace.current_tracer() is None:
+            return
+        for index, res in enumerate(starts):
+            extras = {k: res.meta[k] for k in self._RESTART_META_KEYS
+                      if k in res.meta}
+            _trace.event("search.restart", index=index, method=res.method,
+                         best_value=res.best_value,
+                         iterations=res.iterations,
+                         evaluations=res.evaluations,
+                         trace=list(res.trace), **extras)
 
     def _run_single(self, objective: SimilarityObjective,
                     rng: np.random.Generator,

@@ -98,6 +98,9 @@ class TabuSearch(SearchMethod):
         local_min_counts: Counter = Counter()
         iterations = 0
         evaluations = 0
+        accepted = 0
+        uphill = 0
+        tabu_masked = 0
 
         for it in range(self.max_iterations):
             forbidden = {p for p, until in tabu_until.items() if until > it}
@@ -107,6 +110,10 @@ class TabuSearch(SearchMethod):
             evaluations += n_candidates
             if pair is None:
                 break  # every move excluded (degenerate objective)
+            if free_delta < _delta - _EPS:
+                # The unrestricted best move was strictly better than the
+                # best allowed one: the tabu list was binding this iteration.
+                tabu_masked += 1
 
             if free_delta >= -_EPS:
                 # Genuine local minimum of the *unrestricted* neighbourhood.
@@ -119,6 +126,10 @@ class TabuSearch(SearchMethod):
                 if local_min_counts[key] >= self.local_min_repeats:
                     break
 
+            if _delta < -_EPS:
+                accepted += 1
+            else:
+                uphill += 1
             state.apply_swap(*pair)
             iterations += 1
             tabu_until[pair] = it + 1 + self.tenure
@@ -139,6 +150,9 @@ class TabuSearch(SearchMethod):
             meta=self._params_meta(
                 local_min_visits=sum(local_min_counts.values()),
                 local_min_keys=list(local_min_counts),
+                accepted=accepted,
+                uphill=uphill,
+                tabu_masked=tabu_masked,
             ),
         )
 
@@ -149,6 +163,9 @@ class TabuSearch(SearchMethod):
         return self._params_meta(
             local_min_visits=sum(m.get("local_min_visits", 0) for m in metas),
             local_min_keys=keys,
+            accepted=sum(m.get("accepted", 0) for m in metas),
+            uphill=sum(m.get("uphill", 0) for m in metas),
+            tabu_masked=sum(m.get("tabu_masked", 0) for m in metas),
         )
 
     def _params_meta(self, **extra: Any) -> Dict[str, Any]:

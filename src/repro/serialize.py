@@ -10,6 +10,9 @@ core value types round-trip through plain JSON:
 - :class:`~repro.core.mapping.Partition`
 - :class:`~repro.core.mapping.Workload`
 - :class:`~repro.faults.model.FaultScenario`
+- :class:`~repro.obs.trace.TraceEvent` / :class:`~repro.obs.manifest.RunManifest`
+  (telemetry records, wrapped so the trace-file ``type`` field stays
+  untouched inside the payload)
 
 Each payload carries a ``"type"`` tag and a ``"version"`` so formats can
 evolve; :func:`load` dispatches on the tag.
@@ -24,6 +27,8 @@ from typing import Any, Dict, Union
 from repro.core.mapping import LogicalCluster, Partition, Workload
 from repro.distance.table import DistanceTable
 from repro.faults.model import FaultScenario
+from repro.obs.manifest import RunManifest
+from repro.obs.trace import TraceEvent
 from repro.topology.graph import Topology
 
 _VERSION = 1
@@ -129,6 +134,41 @@ def fault_scenario_from_dict(d: Dict[str, Any]) -> FaultScenario:
     return FaultScenario.from_dict(d)
 
 
+def trace_event_to_dict(ev: TraceEvent) -> Dict[str, Any]:
+    """Encode a span/event telemetry record as a tagged dict.
+
+    The native trace-file record (which has its own ``type`` of ``span``
+    or ``event``) is nested under ``"record"`` so both tagging schemes
+    stay intact.
+    """
+    return {
+        "type": "trace_event",
+        "version": _VERSION,
+        "record": ev.to_record(),
+    }
+
+
+def trace_event_from_dict(d: Dict[str, Any]) -> TraceEvent:
+    """Decode a trace-event payload produced by :func:`trace_event_to_dict`."""
+    _check(d, "trace_event")
+    return TraceEvent.from_record(d["record"])
+
+
+def run_manifest_to_dict(manifest: RunManifest) -> Dict[str, Any]:
+    """Encode a run manifest as a tagged dict (nested native record)."""
+    return {
+        "type": "run_manifest",
+        "version": _VERSION,
+        "record": manifest.to_record(),
+    }
+
+
+def run_manifest_from_dict(d: Dict[str, Any]) -> RunManifest:
+    """Decode a run-manifest payload."""
+    _check(d, "run_manifest")
+    return RunManifest.from_record(d["record"])
+
+
 # --------------------------------------------------------------------- #
 # generic entry points
 # --------------------------------------------------------------------- #
@@ -139,6 +179,8 @@ _ENCODERS = {
     Partition: partition_to_dict,
     Workload: workload_to_dict,
     FaultScenario: fault_scenario_to_dict,
+    TraceEvent: trace_event_to_dict,
+    RunManifest: run_manifest_to_dict,
 }
 
 _DECODERS = {
@@ -147,6 +189,8 @@ _DECODERS = {
     "partition": partition_from_dict,
     "workload": workload_from_dict,
     "fault_scenario": fault_scenario_from_dict,
+    "trace_event": trace_event_from_dict,
+    "run_manifest": run_manifest_from_dict,
 }
 
 
@@ -208,4 +252,8 @@ __all__ = [
     "workload_from_dict",
     "fault_scenario_to_dict",
     "fault_scenario_from_dict",
+    "trace_event_to_dict",
+    "trace_event_from_dict",
+    "run_manifest_to_dict",
+    "run_manifest_from_dict",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Protocol, runtime_checkable
 
+from repro.obs import metrics as _metrics
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.traffic import TrafficPattern
@@ -138,6 +139,30 @@ def make_simulator(routing_table, traffic: TrafficPattern,
     )
 
 
+def record_engine_metrics(result: SimulationResult) -> None:
+    """Fold one finished run's perf/meta into the active metrics registry.
+
+    Registers ``engine.<name>.{runs,cycles_executed,cycles_skipped,
+    arb_requests,arb_conflicts,delivery_conflicts}`` counters and
+    ``engine.<name>.<phase>_seconds`` wall-time histograms.  The existing
+    ``SimulationResult.perf``/``meta`` fields are unchanged — the registry
+    is an aggregated *view* over them, and the whole call is a no-op
+    when telemetry is off.
+    """
+    if _metrics.current_registry() is None:
+        return
+    name = result.meta.get("engine", "unknown")
+    prefix = f"engine.{name}"
+    _metrics.inc(f"{prefix}.runs")
+    for key in ("cycles_executed", "cycles_skipped", "arb_requests",
+                "arb_conflicts", "delivery_conflicts"):
+        value = result.meta.get(key)
+        if value is not None:
+            _metrics.inc(f"{prefix}.{key}", float(value))
+    for key, seconds in (result.perf or {}).items():
+        _metrics.observe(f"{prefix}.{key}", float(seconds))
+
+
 # Meta keys that legitimately differ between bit-identical engines.
 _ENGINE_DEPENDENT_META = ("engine", "cycles_executed", "cycles_skipped")
 
@@ -179,5 +204,6 @@ __all__ = [
     "EnginePerf",
     "NetworkEngine",
     "make_simulator",
+    "record_engine_metrics",
     "canonical_payload",
 ]

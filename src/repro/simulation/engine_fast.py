@@ -76,10 +76,11 @@ import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.obs import trace as _trace
 from repro.routing.base import Phase
 from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
-from repro.simulation.engine import EnginePerf
+from repro.simulation.engine import EnginePerf, record_engine_metrics
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.traffic import TrafficPattern
 from repro.util.stats import ReservoirSampler, RunningStats
@@ -748,11 +749,17 @@ class FastWormholeNetworkSimulator:
         straight to the next arrival deadline.
         """
         total = self.config.warmup_cycles + self.config.measure_cycles
-        if self.config.virtual_channels > 1:
-            self._advance_budgeted(total, True)
-        else:
-            self._advance(total, True)
-        return self._result()
+        with _trace.span("engine.run", engine=self.ENGINE_NAME,
+                         rate=self.rate, cycles=total) as sp:
+            if self.config.virtual_channels > 1:
+                self._advance_budgeted(total, True)
+            else:
+                self._advance(total, True)
+            result = self._result()
+            sp.set(accepted=result.accepted_flits_per_switch_cycle,
+                   avg_latency=result.avg_latency)
+        record_engine_metrics(result)
+        return result
 
     def _advance(self, target: int, allow_skip: bool) -> None:
         """Batched ``virtual_channels == 1`` kernel.

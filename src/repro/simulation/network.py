@@ -42,10 +42,11 @@ import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.obs import trace as _trace
 from repro.routing.base import Phase
 from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
-from repro.simulation.engine import EnginePerf
+from repro.simulation.engine import EnginePerf, record_engine_metrics
 from repro.simulation.message import Message
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.traffic import TrafficPattern
@@ -355,9 +356,15 @@ class WormholeNetworkSimulator:
     def run(self) -> SimulationResult:
         """Run warmup + measurement and return the measured point."""
         total = self.config.warmup_cycles + self.config.measure_cycles
-        while self.cycle < total:
-            self.step()
-        return self._result()
+        with _trace.span("engine.run", engine=self.ENGINE_NAME,
+                         rate=self.rate, cycles=total) as sp:
+            while self.cycle < total:
+                self.step()
+            result = self._result()
+            sp.set(accepted=result.accepted_flits_per_switch_cycle,
+                   avg_latency=result.avg_latency)
+        record_engine_metrics(result)
+        return result
 
     def _result(self) -> SimulationResult:
         n_sw = self.topology.num_switches

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple
 
+from repro.obs import trace as _trace
 from repro.parallel import WorkersLike, parallel_map
 from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
@@ -79,13 +80,30 @@ def run_load_sweep(
     alone, so the points are independent simulations and can run on a
     ``workers``-wide process pool with results identical to the serial
     order (the default ``workers=None`` honours ``$REPRO_WORKERS``).
+
+    Under an active tracer the sweep is wrapped in a ``sweep.load`` span
+    and one ``sweep.point`` event is emitted per point — from the parent,
+    after the (possibly pooled) map returns, so the event stream is the
+    same for serial and parallel runs.
     """
     jobs: List[_SweepJob] = [
         (table, traffic, i, rate,
          replace(config, seed=derive_seed(config.seed, "sweep", i)))
         for i, rate in enumerate(rates, start=1)
     ]
-    return parallel_map(_simulate_point, jobs, workers=workers)
+    with _trace.span("sweep.load", points=len(jobs),
+                     engine=config.engine) as sp:
+        points = parallel_map(_simulate_point, jobs, workers=workers)
+        if _trace.current_tracer() is not None:
+            for point in points:
+                _trace.event(
+                    "sweep.point", index=point.index, rate=point.rate,
+                    accepted=point.result.accepted_flits_per_switch_cycle,
+                    avg_latency=point.result.avg_latency,
+                    saturated=point.result.saturated,
+                )
+        sp.set(saturated_points=sum(1 for p in points if p.result.saturated))
+    return points
 
 
 def find_saturation_rate(
@@ -109,37 +127,44 @@ def find_saturation_rate(
     if not (0 < lo < hi):
         raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
 
+    probes = 0
+
     def accepted_ratio(rate: float) -> SimulationResult:
+        nonlocal probes
+        probes += 1
         cfg = replace(config, seed=derive_seed(config.seed, "sat", int(rate * 1e7)))
         sim = make_simulator(table, traffic, rate, cfg)
         return sim.run()
 
-    # Grow hi until saturated (or give up and treat hi as unsaturable).
-    res_hi = accepted_ratio(hi)
-    grow = 0
-    while not res_hi.saturated and grow < 6:
-        lo = hi
-        hi *= 1.8
-        if hi > 1.0:
-            hi = 1.0
-            res_hi = accepted_ratio(hi)
-            break
+    with _trace.span("sweep.saturation", engine=config.engine) as sp:
+        # Grow hi until saturated (or give up and treat hi as unsaturable).
         res_hi = accepted_ratio(hi)
-        grow += 1
+        grow = 0
+        while not res_hi.saturated and grow < 6:
+            lo = hi
+            hi *= 1.8
+            if hi > 1.0:
+                hi = 1.0
+                res_hi = accepted_ratio(hi)
+                break
+            res_hi = accepted_ratio(hi)
+            grow += 1
 
-    best_ok = lo
-    for _ in range(max_iterations):
-        if (hi - lo) / hi < tolerance:
-            break
-        mid = 0.5 * (lo + hi)
-        res = accepted_ratio(mid)
-        if res.saturated:
-            hi = mid
-        else:
-            lo = mid
-            best_ok = mid
+        best_ok = lo
+        for _ in range(max_iterations):
+            if (hi - lo) / hi < tolerance:
+                break
+            mid = 0.5 * (lo + hi)
+            res = accepted_ratio(mid)
+            if res.saturated:
+                hi = mid
+            else:
+                lo = mid
+                best_ok = mid
 
-    deep = accepted_ratio(min(1.0, 1.5 * hi))
+        deep = accepted_ratio(min(1.0, 1.5 * hi))
+        sp.set(probes=probes, rate=best_ok,
+               throughput=deep.accepted_flits_per_switch_cycle)
     return {
         "rate": best_ok,
         "throughput": deep.accepted_flits_per_switch_cycle,

@@ -35,7 +35,9 @@ def pearson(x: Sequence[float], y: Sequence[float]) -> float:
     sy = float(np.sqrt(np.dot(yd, yd)))
     if sx == 0.0 or sy == 0.0:
         return float("nan")
-    return float(np.dot(xd, yd) / (sx * sy))
+    # Subnormal-range deviations lose enough precision in the dot
+    # products to push |r| past 1; clamp like numpy.corrcoef does.
+    return float(min(1.0, max(-1.0, np.dot(xd, yd) / (sx * sy))))
 
 
 def spearman(x: Sequence[float], y: Sequence[float]) -> float:

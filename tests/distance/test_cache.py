@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.distance.cache import (
     TableCache,
     cached_distance_table,
@@ -91,6 +92,37 @@ class TestTableCache:
     def test_invalid_maxsize(self):
         with pytest.raises(ValueError):
             TableCache(maxsize=0)
+
+
+class TestRegistryCounters:
+    """Each lookup ticks cache.<name>.{hits,misses,evictions} counters."""
+
+    def test_hits_misses_and_evictions_counted(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            cache = TableCache(maxsize=2, name="test")
+            cache.get_or_build("a", lambda: 1)   # miss
+            cache.get_or_build("a", lambda: 1)   # hit
+            cache.get_or_build("b", lambda: 2)   # miss
+            cache.get_or_build("c", lambda: 3)   # miss + eviction of a
+        counters = reg.snapshot()["counters"]
+        assert counters["cache.test.hits"] == 1.0
+        assert counters["cache.test.misses"] == 3.0
+        assert counters["cache.test.evictions"] == 1.0
+        # Registry agrees with the cache's own accounting.
+        st = cache.stats()
+        assert (st.hits, st.misses, st.evictions) == (1, 3, 1)
+
+    def test_default_cache_name_is_tables(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            TableCache(maxsize=2).get_or_build("k", lambda: 1)
+        assert reg.snapshot()["counters"]["cache.tables.misses"] == 1.0
+
+    def test_no_registry_means_no_error(self):
+        cache = TableCache(maxsize=2)
+        assert cache.get_or_build("k", lambda: 41 + 1) == 42
+        assert cache.stats().misses == 1
 
 
 class TestCachedBuilders:

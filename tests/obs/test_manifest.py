@@ -1,0 +1,41 @@
+"""Run manifests: collection and record round-trips."""
+
+import repro
+from repro.obs.manifest import RunManifest, collect_manifest
+
+
+class TestCollect:
+    def test_captures_identity_and_versions(self):
+        m = collect_manifest("simulate", ["--seed", "7"], seed=7,
+                             engine="fast", workers=None,
+                             extra={"note": "test"})
+        assert m.command == "simulate"
+        assert m.argv == ["--seed", "7"]
+        assert m.seed == 7
+        assert m.engine == "fast"
+        assert m.workers is None
+        assert m.workers_resolved >= 1
+        assert m.package_version == repro.__version__
+        assert m.python_version  # e.g. "3.11.7"
+        assert m.created_unix > 0
+        assert m.extra == {"note": "test"}
+
+    def test_workers_request_recorded_as_given(self):
+        m = collect_manifest("x", workers="auto")
+        assert m.workers == "auto"
+        assert m.workers_resolved >= 1
+
+
+class TestRecordRoundTrip:
+    def test_round_trip_preserves_fields(self):
+        m = collect_manifest("figures", ["--fig", "3"], seed=42,
+                             engine="reference", workers=2)
+        rec = m.to_record()
+        assert rec["type"] == "manifest"
+        assert RunManifest.from_record(rec) == m
+
+    def test_from_record_rejects_other_types(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RunManifest.from_record({"type": "span"})

@@ -1,0 +1,105 @@
+"""Metrics registry: instruments, snapshots, context scoping, inertness."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    inc,
+    observe,
+    set_gauge,
+    use_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        g = Gauge("g")
+        assert math.isnan(g.value)
+        g.set(1)
+        g.set(7)
+        assert g.value == 7.0
+
+    def test_histogram_snapshot_has_moments_and_percentiles(self):
+        h = Histogram("h")
+        for v in range(100):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["min"] == 0.0
+        assert snap["max"] == 99.0
+        assert snap["mean"] == pytest.approx(49.5)
+        assert snap["p50"] == pytest.approx(49.5, abs=2.0)
+        assert snap["p99"] >= snap["p95"] >= snap["p50"]
+
+    def test_histogram_ignores_nan(self):
+        h = Histogram("h")
+        h.observe(math.nan)
+        h.observe(1.0)
+        assert h.snapshot()["count"] == 1
+
+    def test_histogram_never_touches_global_random(self):
+        random.seed(123)
+        before = random.random()
+        random.seed(123)
+        h = Histogram("h", reservoir_capacity=4)
+        for v in range(1000):
+            h.observe(float(v))
+        assert random.random() == before
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z") is reg.histogram("z")
+
+    def test_snapshot_shape_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 2.0, "b": 1.0}
+        assert snap["gauges"] == {"g": 5.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestContextHelpers:
+    def test_helpers_are_noops_without_registry(self):
+        assert current_registry() is None
+        inc("x")
+        set_gauge("g", 1.0)
+        observe("h", 2.0)  # must not raise
+
+    def test_helpers_route_to_active_registry(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert current_registry() is reg
+            inc("x", 3)
+            set_gauge("g", 1.5)
+            observe("h", 2.0)
+        assert current_registry() is None
+        snap = reg.snapshot()
+        assert snap["counters"]["x"] == 3.0
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1

@@ -1,0 +1,89 @@
+"""Report rendering: parse a real trace and check every section appears."""
+
+import math
+
+from repro.obs.manifest import collect_manifest
+from repro.obs.metrics import inc
+from repro.obs.report import load_trace, render_report, report_file
+from repro.obs.run import trace_run
+from repro.obs.trace import event, span
+
+
+def _write_trace(path):
+    manifest = collect_manifest("test", ["--x"], seed=7, engine="fast")
+    with trace_run(path, manifest=manifest):
+        with span("phase.outer", part="a"):
+            with span("phase.inner"):
+                pass
+        inc("cache.tables.hits", 3)
+        inc("cache.tables.misses", 1)
+        inc("engine.fast.runs", 2)
+        inc("engine.fast.arb_requests", 10)
+        inc("engine.fast.arb_conflicts", 4)
+        for i in range(2):
+            event("search.restart", index=i, method="tabu", best_value=0.5 - i * 0.1,
+                  iterations=5, evaluations=100, accepted=3, uphill=2,
+                  tabu_masked=1, trace=[1.0, 0.8, 0.5 - i * 0.1])
+        event("parallel.job.retry", job=0, attempt=1, delay_seconds=0.05)
+
+
+class TestLoadTrace:
+    def test_partitions_records_by_type(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        data = load_trace(path)
+        assert data.manifest is not None and data.manifest.seed == 7
+        assert {sp.name for sp in data.spans} == {"phase.outer", "phase.inner"}
+        assert len(data.events_named("search.restart")) == 2
+        assert data.counters["cache.tables.hits"] == 3.0
+
+    def test_unknown_record_types_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        with open(path, "a") as fh:
+            fh.write('{"type": "future-thing", "x": 1}\n')
+        assert load_trace(path).counters  # still parses
+
+
+class TestRenderReport:
+    def test_all_sections_render(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        text = report_file(path)
+        assert "run manifest" in text
+        assert "seed=7" in text and "engine=fast" in text
+        assert "per-phase time breakdown" in text
+        assert "phase.outer" in text and "phase.inner" in text
+        assert "slowest spans" in text
+        assert "distance/routing-table caches" in text
+        assert "0.75" in text  # tables hit rate 3/(3+1)
+        assert "simulation engines" in text
+        assert "search convergence" in text
+        assert "best F_G so far" in text  # the trajectory plot
+        assert "1 job retries" in text
+
+    def test_self_time_subtracts_children(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        data = load_trace(path)
+        outer = next(sp for sp in data.spans if sp.name == "phase.outer")
+        inner = next(sp for sp in data.spans if sp.name == "phase.inner")
+        assert inner.parent_id == outer.span_id
+        assert outer.duration >= inner.duration
+
+    def test_empty_sections_degrade_gracefully(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        with trace_run(path):
+            pass
+        text = report_file(path)
+        assert "(no spans recorded)" in text
+        assert "search convergence" not in text
+        assert "caches" not in text
+
+    def test_nan_values_render_without_crashing(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace_run(path):
+            with span("work"):
+                event("sweep.point", index=1, rate=0.1,
+                      accepted=0.0, avg_latency=math.nan, saturated=False)
+        assert render_report(load_trace(path))

@@ -1,0 +1,102 @@
+"""Trace-record schema validation and whole-file checks."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import collect_manifest
+from repro.obs.schema import SchemaError, validate_record, validate_trace_file
+from repro.obs.sinks import JsonlSink
+from repro.obs.run import trace_run
+from repro.obs.trace import event, span
+
+
+def _span_record(**over):
+    rec = {"type": "span", "name": "s", "span_id": 1, "parent_id": None,
+           "t_start": 1.0, "t_end": 2.0, "duration": 1.0, "attrs": {}}
+    rec.update(over)
+    return rec
+
+
+class TestValidateRecord:
+    def test_valid_manifest(self):
+        rec = collect_manifest("x", seed=1, engine="fast").to_record()
+        assert validate_record(rec) == "manifest"
+
+    def test_valid_span_and_event(self):
+        assert validate_record(_span_record()) == "span"
+        assert validate_record(
+            {"type": "event", "name": "e", "t": 1.0, "span_id": None,
+             "attrs": {"k": 1}}
+        ) == "event"
+
+    def test_valid_metrics(self):
+        rec = {"type": "metrics", "t": 1.0,
+               "metrics": {"counters": {}, "gauges": {}, "histograms": {}}}
+        assert validate_record(rec) == "metrics"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_record({"type": "nope"})
+
+    def test_missing_field_rejected(self):
+        rec = _span_record()
+        del rec["span_id"]
+        with pytest.raises(SchemaError):
+            validate_record(rec)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_record(_span_record(name=7))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_record(_span_record(duration=-1.0))
+
+    def test_time_ordering_enforced(self):
+        with pytest.raises(SchemaError):
+            validate_record(_span_record(t_start=5.0, t_end=1.0))
+
+    def test_metrics_sections_required(self):
+        with pytest.raises(SchemaError):
+            validate_record({"type": "metrics", "t": 1.0,
+                             "metrics": {"counters": {}}})
+
+
+class TestValidateFile:
+    def test_real_trace_run_validates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        manifest = collect_manifest("test", seed=1, engine="fast")
+        with trace_run(path, manifest=manifest):
+            with span("outer", k=1):
+                event("tick", n=2)
+        counts = validate_trace_file(path)
+        assert counts == {"manifest": 1, "span": 1, "event": 1, "metrics": 1}
+
+    def test_manifest_must_be_first(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "event", "name": "e", "t": 1.0, "attrs": {}})
+        sink.emit(collect_manifest("x").to_record())
+        sink.close()
+        with pytest.raises(SchemaError, match="first"):
+            validate_trace_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            validate_trace_file(path)
+
+    def test_invalid_json_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "event", "name": "e", "t": 1.0, "attrs": {}}\n'
+                        "not json\n")
+        with pytest.raises(SchemaError, match="invalid JSON"):
+            validate_trace_file(path)
+
+    def test_error_carries_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps({"type": "nope"}) + "\n")
+        with pytest.raises(SchemaError, match=":1:"):
+            validate_trace_file(path)

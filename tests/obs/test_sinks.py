@@ -1,0 +1,90 @@
+"""Sink behaviour: in-memory collection, JSONL hygiene, sanitization."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.sinks import JsonlSink, MemorySink, sanitize
+
+
+class TestMemorySink:
+    def test_collects_in_order(self):
+        sink = MemorySink()
+        sink.emit({"type": "event", "name": "a"})
+        sink.emit({"type": "span", "name": "b"})
+        assert [r["name"] for r in sink.records] == ["a", "b"]
+        assert sink.by_type("span") == [{"type": "span", "name": "b"}]
+        assert sink.by_name("a") == [{"type": "event", "name": "a"}]
+
+    def test_close_is_observable(self):
+        sink = MemorySink()
+        assert not sink.closed
+        sink.close()
+        assert sink.closed
+
+
+class TestSanitize:
+    def test_non_finite_floats_become_none(self):
+        assert sanitize(math.nan) is None
+        assert sanitize(math.inf) is None
+        assert sanitize(-math.inf) is None
+        assert sanitize(1.5) == 1.5
+
+    def test_recurses_into_containers(self):
+        out = sanitize({"a": [1.0, math.nan, (2.0, math.inf)], 3: "x"})
+        assert out == {"a": [1.0, None, [2.0, None]], "3": "x"}
+
+    def test_passthrough_for_other_types(self):
+        assert sanitize("s") == "s"
+        assert sanitize(7) == 7
+        assert sanitize(None) is None
+
+
+class TestJsonlSink:
+    def test_writes_one_strict_json_line_per_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "event", "name": "a", "attrs": {"v": math.nan}})
+        sink.emit({"type": "event", "name": "b", "attrs": {}})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["attrs"]["v"] is None  # NaN sanitized, strict JSON
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        JsonlSink(path).close()
+        assert path.exists()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError):
+            sink.emit({"type": "event"})
+
+    def test_records_flushed_before_close(self, tmp_path):
+        # Per-record flushing keeps the userspace buffer empty, so a
+        # forked child can never re-flush inherited bytes — and a
+        # crashed run keeps everything emitted so far.
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "event", "name": "a"})
+        assert json.loads(path.read_text())["name"] == "a"
+        sink.close()
+
+    def test_forked_child_writes_are_dropped(self, tmp_path, monkeypatch):
+        import repro.obs.sinks as sinks_mod
+
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "event", "name": "parent"})
+        monkeypatch.setattr(sinks_mod.os, "getpid",
+                            lambda: sink._pid + 1)
+        sink.emit({"type": "event", "name": "child"})  # silently dropped
+        sink.close()
+        monkeypatch.undo()
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["parent"]

@@ -1,0 +1,116 @@
+"""Tracer behaviour: nesting, context scoping, no-op mode, attributes."""
+
+import pytest
+
+from repro.obs.sinks import MemorySink
+from repro.obs.trace import (
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    event,
+    span,
+    use_tracer,
+)
+
+
+@pytest.fixture()
+def sink():
+    return MemorySink()
+
+
+@pytest.fixture()
+def tracer(sink):
+    return Tracer(sink)
+
+
+class TestSpans:
+    def test_span_records_duration_and_name(self, tracer, sink):
+        with tracer.span("work", size=3):
+            pass
+        (rec,) = sink.by_type("span")
+        assert rec["name"] == "work"
+        assert rec["attrs"] == {"size": 3}
+        assert rec["duration"] >= 0
+        assert rec["t_end"] >= rec["t_start"]
+
+    def test_nested_spans_carry_parent_ids(self, tracer, sink):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        inner_rec, outer_rec = sink.by_type("span")  # children emit first
+        assert inner_rec["name"] == "inner"
+        assert inner_rec["parent_id"] == outer.span_id
+        assert outer_rec["parent_id"] is None
+        assert inner.span_id != outer.span_id
+
+    def test_siblings_share_parent(self, tracer, sink):
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, _ = sink.by_type("span")
+        assert a["parent_id"] == b["parent_id"] == root.span_id
+
+    def test_set_attaches_attributes_before_exit(self, tracer, sink):
+        with tracer.span("work") as sp:
+            sp.set(result=42, extra="x")
+        (rec,) = sink.by_type("span")
+        assert rec["attrs"] == {"result": 42, "extra": "x"}
+
+    def test_exception_annotates_and_propagates(self, tracer, sink):
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        (rec,) = sink.by_type("span")
+        assert "boom" in rec["attrs"]["error"]
+
+    def test_events_attach_to_current_span(self, tracer, sink):
+        with tracer.span("outer") as outer:
+            tracer.event("tick", n=1)
+        (rec,) = sink.by_type("event")
+        assert rec["name"] == "tick"
+        assert rec["span_id"] == outer.span_id
+        assert rec["attrs"] == {"n": 1}
+
+
+class TestContextScoping:
+    def test_no_tracer_by_default(self):
+        assert current_tracer() is None
+
+    def test_use_tracer_installs_and_restores(self, tracer):
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_module_helpers_route_to_active_tracer(self, tracer, sink):
+        with use_tracer(tracer):
+            with span("work", k=1):
+                event("tick")
+        assert len(sink.by_type("span")) == 1
+        assert len(sink.by_type("event")) == 1
+
+    def test_module_helpers_are_noops_without_tracer(self):
+        # Must not raise, must not allocate a real handle.
+        with span("work", k=1) as sp:
+            sp.set(anything="ignored")
+            event("tick", n=2)
+
+    def test_disabled_span_is_a_shared_singleton(self):
+        assert span("a") is span("b")
+
+
+class TestTraceEventRoundTrip:
+    def test_span_record_round_trip(self):
+        ev = TraceEvent(kind="span", name="s", t=1.5, duration=0.25,
+                        span_id=3, parent_id=1, attrs={"k": "v"})
+        assert TraceEvent.from_record(ev.to_record()) == ev
+
+    def test_event_record_round_trip(self):
+        ev = TraceEvent(kind="event", name="e", t=2.0, span_id=None,
+                        attrs={"n": 1})
+        assert TraceEvent.from_record(ev.to_record()) == ev
+
+    def test_from_record_rejects_other_types(self):
+        with pytest.raises(ValueError):
+            TraceEvent.from_record({"type": "manifest"})

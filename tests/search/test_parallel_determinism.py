@@ -10,6 +10,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.sinks import MemorySink
+from repro.obs.trace import Tracer, use_tracer
 from repro.search.annealing import SimulatedAnnealing
 from repro.search.base import SimilarityObjective
 from repro.search.genetic import GeneticAlgorithm
@@ -69,6 +72,62 @@ def test_rerun_is_deterministic(method, objective8):
     a = METHOD_FACTORIES[method](2).run(objective8, seed=11)
     b = METHOD_FACTORIES[method](2).run(objective8, seed=11)
     assert_results_identical(a, b)
+
+
+class TestTracingInertness:
+    """Telemetry on vs off must leave every search result bit-identical."""
+
+    @pytest.mark.parametrize("method", sorted(METHOD_FACTORIES))
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_tracing_does_not_change_results(self, method, objective8,
+                                             workers):
+        plain = METHOD_FACTORIES[method](workers).run(objective8, seed=13)
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)), use_registry(MetricsRegistry()):
+            traced = METHOD_FACTORIES[method](workers).run(objective8,
+                                                           seed=13)
+        assert_results_identical(plain, traced)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_restart_events_match_results(self, objective8, workers):
+        """One search.restart event per start, with the convergence data,
+        emitted identically for serial and pooled execution."""
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)):
+            res = TabuSearch(restarts=3, max_iterations=6,
+                             workers=workers).run(objective8, seed=5)
+        events = sink.by_name("search.restart")
+        assert [e["attrs"]["index"] for e in events] == [0, 1, 2]
+        traces = [e["attrs"]["trace"] for e in events]
+        assert [v for t in traces for v in t] == res.trace
+        # The merge keeps the earliest start within _EPS of the optimum, so
+        # the winning value matches the per-start minimum only up to _EPS.
+        best_of_starts = min(e["attrs"]["best_value"] for e in events)
+        assert res.best_value == pytest.approx(best_of_starts, abs=1e-9)
+        assert res.best_value in [e["attrs"]["best_value"] for e in events]
+        assert sum(e["attrs"]["iterations"] for e in events) == res.iterations
+        for e in events:
+            assert e["attrs"]["method"] == "tabu"
+            for key in ("accepted", "uphill", "tabu_masked"):
+                assert e["attrs"][key] >= 0
+        (span_rec,) = sink.by_name("search.tabu")
+        assert span_rec["attrs"]["best_value"] == res.best_value
+        assert span_rec["attrs"]["restarts"] == 3
+
+    def test_single_restart_also_emits_event(self, objective8):
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)):
+            TabuSearch(restarts=1, max_iterations=4).run(objective8, seed=2)
+        (event,) = sink.by_name("search.restart")
+        assert event["attrs"]["index"] == 0
+
+    def test_tabu_convergence_counters_consistent(self, objective8):
+        """accepted + uphill == applied moves == iterations, per restart."""
+        res = TabuSearch(restarts=1, max_iterations=8).run(objective8, seed=3)
+        assert res.meta["accepted"] + res.meta["uphill"] == res.iterations
+        # Masking is judged once per loop iteration (including ones that
+        # end the seed without applying a move), so cap by max_iterations.
+        assert 0 <= res.meta["tabu_masked"] <= 8
 
 
 def test_restart_traces_concatenate_in_seed_order(objective8):

@@ -23,6 +23,9 @@ from dataclasses import replace
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.sinks import MemorySink
+from repro.obs.trace import Tracer, use_tracer
 from repro.routing.tables import RoutingTable
 from repro.routing.updown import UpDownRouting
 from repro.simulation.config import SimulationConfig
@@ -233,6 +236,60 @@ class TestTraceParity:
         fast.run()
         assert list(ref.trace) == list(fast.trace)
         assert len(ref.trace) > 0
+
+
+class TestTracingInertness:
+    """Telemetry must not perturb results: tracing on ≡ tracing off.
+
+    The ISSUE's hard constraint — spans/events/metrics never touch any
+    RNG stream or canonical payload — checked over the same topology ×
+    engine × seed × rate grid as the parity matrix.
+    """
+
+    @pytest.mark.parametrize("topo_seed", [11, 23, 37])
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_results_bit_identical_with_tracing(self, topo_seed, engine):
+        topo, table = _small_table(topo_seed)
+        for seed in (0, 3):
+            for rate in (0.002, 0.02):
+                cfg = SimulationConfig(
+                    message_length=16, buffer_flits=2,
+                    warmup_cycles=200, measure_cycles=800,
+                    seed=seed, engine=engine,
+                )
+                plain = make_simulator(table, UniformTraffic(topo),
+                                       rate, cfg).run()
+                sink = MemorySink()
+                with use_tracer(Tracer(sink)), use_registry(MetricsRegistry()):
+                    traced = make_simulator(table, UniformTraffic(topo),
+                                            rate, cfg).run()
+                context = f"(topo={topo_seed} engine={engine} " \
+                          f"seed={seed} rate={rate})"
+                _assert_identical(canonical_payload(plain),
+                                  canonical_payload(traced),
+                                  "tracing on vs off " + context)
+                # Engine-dependent meta must match too: same engine.
+                assert plain.meta == traced.meta, context
+                assert sink.by_name("engine.run"), "span was recorded"
+
+    def test_traced_run_fills_registry_without_changing_perf_fields(self):
+        topo, table = _small_table(11)
+        cfg = SimulationConfig(message_length=16, buffer_flits=2,
+                               warmup_cycles=100, measure_cycles=500,
+                               seed=4, engine="fast")
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            res = make_simulator(table, UniformTraffic(topo),
+                                 0.01, cfg).run()
+        snap = registry.snapshot()
+        assert snap["counters"]["engine.fast.runs"] == 1.0
+        assert snap["counters"]["engine.fast.arb_requests"] == float(
+            res.meta["arb_requests"])
+        # Old fields remain the source of truth; the registry is a view.
+        assert set(res.perf) == {"arrivals_seconds", "injection_seconds",
+                                 "arbitration_seconds", "flit_move_seconds"}
+        assert snap["histograms"]["engine.fast.arbitration_seconds"][
+            "count"] == 1
 
 
 class TestObservability:

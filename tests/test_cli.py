@@ -1,10 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro import serialize
 from repro.cli import main
 from repro.core.mapping import Partition
+from repro.obs.schema import validate_trace_file
 from repro.topology.graph import Topology
 
 
@@ -104,6 +107,59 @@ class TestMetricsCommand:
         main(["metrics", "--kind", "four-rings"])
         out = capsys.readouterr().out
         assert "switches / links:  24" in out
+
+
+class TestTraceFlag:
+    def test_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["--trace", str(trace), "schedule", "--switches", "12",
+                     "--seed", "1", "--clusters", "3", "--randoms", "1"]) == 0
+        counts = validate_trace_file(trace)
+        assert counts["manifest"] == 1
+        assert counts["metrics"] == 1
+        assert counts["span"] >= 1
+
+    def test_trace_flag_accepted_after_subcommand(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(["schedule", "--switches", "12", "--seed", "1",
+                     "--clusters", "3", "--randoms", "1",
+                     "--trace", str(trace)]) == 0
+        assert validate_trace_file(trace)["manifest"] == 1
+
+    def test_manifest_records_command_and_seed(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        main(["--trace", str(trace), "schedule", "--switches", "12",
+              "--seed", "5", "--clusters", "3", "--randoms", "1"])
+        manifest = json.loads(trace.read_text().splitlines()[0])
+        assert manifest["command"] == "schedule"
+        assert manifest["seed"] == 5
+
+    def test_trace_does_not_change_results(self, tmp_path, capsys):
+        args = ["schedule", "--switches", "12", "--seed", "1",
+                "--clusters", "3", "--randoms", "2"]
+        main(args)
+        plain = capsys.readouterr().out
+        main(["--trace", str(tmp_path / "t.jsonl")] + args)
+        assert capsys.readouterr().out == plain
+
+
+class TestReportCommand:
+    def test_report_renders_trace(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(["--trace", str(trace), "simulate", "--switches", "8",
+              "--seed", "1", "--clusters", "2", "--randoms", "1",
+              "--points", "2", "--measure", "300", "--warmup", "100",
+              "--max-rate", "0.01"])
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest" in out
+        assert "per-phase time breakdown" in out
+        assert "slowest spans" in out
+
+    def test_report_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "absent.jsonl")])
 
 
 class TestFailuresCommand:

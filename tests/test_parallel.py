@@ -8,6 +8,8 @@ import pytest
 
 import repro.parallel as parallel_mod
 from repro.checkpoint import SweepCheckpoint
+from repro.obs.sinks import MemorySink
+from repro.obs.trace import Tracer, use_tracer
 from repro.parallel import (
     WORKERS_ENV,
     JobTimeoutError,
@@ -218,6 +220,89 @@ class TestTimeout:
     def test_bad_timeout_rejected(self):
         with pytest.raises(ValueError, match="timeout"):
             parallel_map(_square, [1], timeout=0)
+
+
+class TestLifecycleEvents:
+    def test_serial_jobs_emit_started_and_completed(self):
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)):
+            parallel_map(_square, [1, 2], workers=1)
+        started = sink.by_name("parallel.job.started")
+        completed = sink.by_name("parallel.job.completed")
+        assert [e["attrs"]["job"] for e in started] == [0, 1]
+        assert [e["attrs"]["job"] for e in completed] == [0, 1]
+        assert all(e["attrs"]["attempts"] == 1 for e in completed)
+        (span_rec,) = sink.by_name("parallel.map")
+        assert span_rec["attrs"]["jobs"] == 2
+        assert span_rec["attrs"]["mode"] == "serial"
+
+    def test_pool_jobs_emit_scheduled_and_completed(self):
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)):
+            parallel_map(_square, [1, 2, 3], workers=2)
+        assert len(sink.by_name("parallel.job.scheduled")) == 3
+        assert len(sink.by_name("parallel.job.completed")) == 3
+        (span_rec,) = sink.by_name("parallel.map")
+        assert span_rec["attrs"]["mode"] == "pool"
+
+    def test_retry_events_carry_attempt_and_backoff(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "_sleep", lambda s: None)
+        sink = MemorySink()
+        fn = _FlakyThenOk(failures=2)
+        with use_tracer(Tracer(sink)):
+            parallel_map(fn, [3], workers=1, retries=2)
+        retries = sink.by_name("parallel.job.retry")
+        assert [e["attrs"]["attempt"] for e in retries] == [1, 2]
+        assert [e["attrs"]["delay_seconds"] for e in retries] == [
+            _backoff_delay(0), _backoff_delay(1)
+        ]
+        assert all("transient failure" in e["attrs"]["error"]
+                   for e in retries)
+        assert all(e["attrs"]["retries"] == 2 for e in retries)
+        (done,) = sink.by_name("parallel.job.completed")
+        assert done["attrs"]["attempts"] == 3
+
+    def test_timeout_emits_timed_out_event(self):
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)):
+            with pytest.raises(JobTimeoutError):
+                parallel_map(_slow_square, [1, 2], workers=2, timeout=0.1)
+        timed_out = sink.by_name("parallel.job.timed_out")
+        assert timed_out and timed_out[0]["attrs"]["timeout_seconds"] == 0.1
+
+    def test_checkpoint_resume_event(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        ck = SweepCheckpoint(path, key="k", total=3)
+        ck.record(0, 1)
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)):
+            parallel_map(_square, [1, 2, 3],
+                         checkpoint=SweepCheckpoint(path, key="k", total=3))
+        (load,) = sink.by_name("checkpoint.load")
+        assert load["attrs"]["completed"] == 1
+        (resume,) = sink.by_name("checkpoint.resume")
+        assert resume["attrs"]["completed"] == 1
+        assert resume["attrs"]["total"] == 3
+
+    def test_no_tracer_means_no_overhead_errors(self):
+        # The instrumented paths must run cleanly with telemetry off.
+        assert parallel_map(_square, [1, 2], workers=1) == [1, 4]
+
+    def test_forked_workers_do_not_write_to_the_trace_file(self, tmp_path):
+        # Workers inherit the tracer contextvar and the open JSONL sink
+        # under fork; the pool initializer detaches telemetry, so the
+        # trace must stay a valid single-writer file (manifest first,
+        # exactly once) even for pooled runs.
+        from repro.obs import collect_manifest, trace_run
+        from repro.obs.schema import validate_trace_file
+
+        path = tmp_path / "run.jsonl"
+        manifest = collect_manifest("test", [], workers=2)
+        with trace_run(path, manifest=manifest):
+            assert parallel_map(_square, [1, 2, 3], workers=2) == [1, 4, 9]
+        counts = validate_trace_file(path)
+        assert counts["manifest"] == 1
+        assert counts["metrics"] == 1
 
 
 class TestCheckpointIntegration:

@@ -8,6 +8,9 @@ import pytest
 from repro import serialize
 from repro.core.mapping import LogicalCluster, Partition, Workload
 from repro.distance.table import DistanceTable
+from repro.obs.manifest import RunManifest, collect_manifest
+from repro.obs.schema import validate_record
+from repro.obs.trace import TraceEvent
 from repro.topology.designed import four_rings_topology
 from repro.topology.irregular import random_irregular_topology
 
@@ -56,6 +59,37 @@ class TestRoundTrips:
     def test_dict_roundtrip_without_files(self):
         topo = random_irregular_topology(8, seed=0)
         assert serialize.from_dict(serialize.to_dict(topo)) == topo
+
+    def test_trace_event_span(self, tmp_path):
+        ev = TraceEvent(kind="span", name="sweep.load", t=10.0,
+                        duration=1.25, span_id=4, parent_id=2,
+                        attrs={"points": 9})
+        path = tmp_path / "ev.json"
+        serialize.save(ev, path)
+        loaded = serialize.load(path)
+        assert loaded == ev
+        # The nested record is the exact JSONL schema form.
+        d = serialize.to_dict(ev)
+        assert validate_record(d["record"]) == "span"
+
+    def test_trace_event_point(self):
+        ev = TraceEvent(kind="event", name="sweep.point", t=3.0,
+                        span_id=1, attrs={"rate": 0.01, "index": 1})
+        d = serialize.to_dict(ev)
+        assert d["type"] == "trace_event"
+        assert serialize.from_dict(d) == ev
+        assert validate_record(d["record"]) == "event"
+
+    def test_run_manifest(self, tmp_path):
+        m = collect_manifest("simulate", ["--seed", "7"], seed=7,
+                             engine="fast", workers=2,
+                             extra={"note": "roundtrip"})
+        path = tmp_path / "m.json"
+        serialize.save(m, path)
+        loaded = serialize.load(path)
+        assert isinstance(loaded, RunManifest)
+        assert loaded == m
+        assert validate_record(serialize.to_dict(m)["record"]) == "manifest"
 
 
 class TestValidation:
