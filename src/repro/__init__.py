@@ -60,9 +60,18 @@ from repro.obs import (
 )
 from repro.parallel import (
     JobTimeoutError,
+    WorkerPool,
     detect_workers,
     parallel_map,
     resolve_workers,
+)
+from repro.service import (
+    ScheduleRequest,
+    ScheduleResponse,
+    SchedulerService,
+    ServiceClient,
+    ServiceConfig,
+    running_service,
 )
 from repro.core import (
     LogicalCluster,
@@ -114,6 +123,13 @@ __all__ = [
     "parallel_map",
     "resolve_workers",
     "JobTimeoutError",
+    "WorkerPool",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulerService",
+    "ServiceClient",
+    "ServiceConfig",
+    "running_service",
     "CheckpointMismatch",
     "SweepCheckpoint",
     "Tracer",

@@ -18,8 +18,16 @@ Robustness properties:
 - every record is flushed and fsynced before the job counts as completed,
   so a kill can lose at most the in-flight job;
 - a truncated trailing line (the classic kill-mid-write artifact) is
-  detected and ignored on load; the next ``record()`` rewrites the file
-  without the partial line.
+  detected and ignored on load — a resume sees every fully-written record
+  no matter at which byte the writer died;
+- compaction (and initial creation) is crash-safe: the new file is
+  written to a temporary sibling, flushed, fsynced and atomically swapped
+  in with ``os.replace``, and the directory entry is fsynced, so a crash
+  leaves either the old file or the new one, never a torn hybrid (a
+  leftover ``*.tmp`` from a crashed rewrite is ignored and overwritten);
+- the append handle is kept open across records and fsynced again on
+  :meth:`SweepCheckpoint.close` (checkpoints are context managers;
+  ``with SweepCheckpoint(...) as ck:`` closes durably).
 """
 
 from __future__ import annotations
@@ -41,6 +49,20 @@ _VERSION = 1
 
 class CheckpointMismatch(RuntimeError):
     """The checkpoint on disk belongs to a different run configuration."""
+
+
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a just-completed rename survives a power cut."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - directories not fsyncable here
+        pass
+    finally:
+        os.close(fd)
 
 
 class SweepCheckpoint:
@@ -65,6 +87,7 @@ class SweepCheckpoint:
         self.total = total
         self._results: Dict[int, Any] = {}
         self._rewrite_needed = False
+        self._fh = None
         if self.path.exists() and self.path.stat().st_size > 0:
             self._load()
 
@@ -134,10 +157,25 @@ class SweepCheckpoint:
         if self._rewrite_needed or not self.path.exists():
             self._rewrite()
             return
-        with open(self.path, "a") as fh:
-            fh.write(self._entry_line(index, result))
-            fh.flush()
-            os.fsync(fh.fileno())
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.path, "a")
+        self._fh.write(self._entry_line(index, result))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Flush, fsync and close the append handle (idempotent)."""
+        if self._fh is not None and not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _entry_line(self, index: int, result: Any) -> str:
         payload = base64.b64encode(
@@ -156,6 +194,13 @@ class SweepCheckpoint:
         return json.dumps(header) + "\n"
 
     def _rewrite(self) -> None:
+        """Write the full checkpoint crash-safely: temp + atomic replace.
+
+        A crash at any point leaves either the previous file or the
+        complete new one — never a torn hybrid.  The directory entry is
+        fsynced after the swap so the rename itself is durable.
+        """
+        self.close()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
         with open(tmp, "w") as fh:
@@ -164,7 +209,8 @@ class SweepCheckpoint:
                 fh.write(self._entry_line(index, self._results[index]))
             fh.flush()
             os.fsync(fh.fileno())
-        tmp.replace(self.path)
+        os.replace(tmp, self.path)
+        _fsync_dir(self.path.parent)
         self._rewrite_needed = False
 
     # ------------------------------------------------------------------ #

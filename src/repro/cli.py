@@ -10,7 +10,11 @@
 - ``simulate``  — sweep one or more mappings through the wormhole
   simulator and print latency/throughput tables;
 - ``figures``   — regenerate the paper's Figures 1–6 (text renderings);
-- ``report``    — summarize a JSONL trace produced with ``--trace``.
+- ``report``    — summarize a JSONL trace produced with ``--trace``;
+- ``serve``     — run the resident scheduling service (persistent worker
+  pool, micro-batching, result store);
+- ``submit``    — send one scheduling request to a running service;
+- ``status``    — print a running service's counters.
 
 ``--trace PATH`` (global, also accepted after any execution subcommand)
 records a structured JSONL trace of the run — manifest, nested spans,
@@ -250,6 +254,151 @@ def cmd_failures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scheduling service until interrupted (``repro serve``)."""
+    from repro.service import AdmissionPolicy, ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        store_ttl=args.store_ttl if args.store_ttl > 0 else None,
+        admission=AdmissionPolicy(max_switches=args.max_switches),
+        batching=not args.no_batching,
+        dedup=not args.no_dedup,
+    )
+    return run_service(config)
+
+
+def _build_request(args: argparse.Namespace):
+    """Assemble the ScheduleRequest for ``repro submit``."""
+    from repro.service import ProtocolError, ScheduleRequest, SimulateSpec
+
+    if getattr(args, "request", None):
+        import json as _json
+        from pathlib import Path
+
+        payload = _json.loads(Path(args.request).read_text())
+        try:
+            return ScheduleRequest.from_dict(payload)
+        except ProtocolError as exc:
+            raise SystemExit(f"{args.request}: {exc}")
+    topo = _build_topology(args)
+    simulate = SimulateSpec() if args.simulate else None
+    try:
+        return ScheduleRequest.build(
+            topo, clusters=args.clusters, method=args.method,
+            seed=args.seed, priority=args.priority, simulate=simulate,
+        )
+    except ProtocolError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one request to a running service and print the reply."""
+    import json as _json
+
+    from repro.service import ServiceClient, ServiceError
+
+    request = _build_request(args)
+    try:
+        with ServiceClient(args.host, args.port,
+                           timeout=args.timeout) as client:
+            reply = client.submit(request, wait=not args.no_wait)
+    except ConnectionRefusedError:
+        raise SystemExit(
+            f"no service at {args.host}:{args.port} — start one with "
+            "'repro serve'"
+        )
+    except ServiceError as exc:
+        raise SystemExit(f"request refused: {exc}")
+    if args.no_wait and "ticket" in reply:
+        print(f"queued; poll with: repro status --host {args.host} "
+              f"--port {args.port}")
+        print(f"ticket: {reply['ticket']}")
+        return 0
+    result = reply["result"]
+    served = reply.get("served", {})
+    if args.json:
+        print(_json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    print(f"topology: {result['topology_name']}  method: {result['method']}  "
+          f"seed: {result['seed']}")
+    print(f"served:   {served.get('from', '?')}"
+          + (f" (batch of {served['batch_size']})"
+             if served.get("batch_size", 0) > 1 else ""))
+    degraded = result.get("degraded")
+    if degraded is not None:
+        print(f"degraded: scenario {degraded['scenario']} — "
+              f"{'connected' if degraded['connected'] else 'partitioned'}, "
+              f"{len(degraded['placements'])} placed, "
+              f"{len(degraded['unplaced'])} unplaced")
+    else:
+        partition = serialize.partition_from_dict(result["partition"])
+        for i, members in enumerate(partition.clusters()):
+            print(f"  cluster {i}: ({','.join(map(str, members))})")
+        print(f"F_G={result['f_g']:.4f}  D_G={result['d_g']:.4f}  "
+              f"C_c={result['c_c']:.4f}")
+    if result.get("simulation"):
+        t = Table(["rate", "accepted", "avg latency"],
+                  title="simulated load sweep:")
+        for row in result["simulation"]:
+            t.add_row([row["rate"], row["accepted"], row["avg_latency"]],
+                      digits=4)
+        print(t.render())
+    if args.save:
+        from pathlib import Path
+
+        Path(args.save).write_text(
+            _json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"response saved to {args.save}")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Print a running service's counters (``repro status``)."""
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    try:
+        with ServiceClient(args.host, args.port,
+                           timeout=args.timeout) as client:
+            status = client.status()
+    except ConnectionRefusedError:
+        raise SystemExit(f"no service at {args.host}:{args.port}")
+    if args.json:
+        print(_json.dumps(status.to_dict(), indent=2, sort_keys=True))
+        return 0
+    d = status.to_dict()
+    print(f"service version:  {d['package_version']}  "
+          f"(uptime {d['uptime_seconds']:.1f}s)")
+    print(f"requests:         {d['requests_total']}")
+    s = d["served"]
+    print(f"  served:         computed={s['computed']} store={s['store']} "
+          f"inflight={s['inflight']}")
+    r = d["rejected"]
+    print(f"  rejected:       backpressure={r['backpressure']} "
+          f"admission={r['admission']} protocol={r['protocol']} "
+          f"failed={r['failed']}")
+    print(f"queue:            {d['queue_depth']}/{d['queue_capacity']} "
+          f"pending, {d['inflight']} in flight")
+    st = d["store"]
+    print(f"store:            {st['size']} entries, {st['hits']} hits / "
+          f"{st['misses']} misses")
+    b = d["batches"]
+    mean = f"{b['mean_size']:.2f}" if b["mean_size"] is not None else "-"
+    print(f"batches:          {b['count']} "
+          f"(mean size {mean}, max {b['max_size']})")
+    p = d["pool"]
+    print(f"pool:             {p['workers']} workers "
+          f"({'active' if p['active'] else 'idle'})")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Summarize a JSONL trace file (``repro report PATH``)."""
     from repro.obs.report import report_file
@@ -297,11 +446,15 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Communication-aware task scheduling (Orduña et al., "
                     "ICPP 2000) — reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a structured JSONL trace of the run "
                              "(spans, events, metrics; inspect it with "
@@ -397,6 +550,67 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulator engine for the fig3/fig5 sweeps "
                         "(results are engine-independent)")
     p.set_defaults(func=cmd_figures)
+
+    def add_service_addr(p):
+        from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+
+        p.add_argument("--host", default=DEFAULT_HOST)
+        p.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+    p = sub.add_parser("serve",
+                       help="run the resident scheduling service")
+    add_service_addr(p)
+    p.add_argument("--workers", type=_workers_arg, default=None,
+                   metavar="N|auto",
+                   help="persistent pool width (default: $REPRO_WORKERS "
+                        "or serial)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="queued-request bound before backpressure "
+                        "(default: 64)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="micro-batch size cap (default: 16)")
+    p.add_argument("--batch-window", type=float, default=0.02,
+                   help="seconds the batcher waits to fill (default: 0.02)")
+    p.add_argument("--store-ttl", type=float, default=300.0,
+                   help="result-store TTL in seconds, 0 disables expiry "
+                        "(default: 300)")
+    p.add_argument("--max-switches", type=int, default=256,
+                   help="admission bound on topology size (default: 256)")
+    p.add_argument("--no-batching", action="store_true",
+                   help="dispatch one request per pool job")
+    p.add_argument("--no-dedup", action="store_true",
+                   help="disable the result store and request coalescing")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit one request to a running service")
+    add_service_addr(p)
+    add_topology_args(p)
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--method", default="tabu",
+                   choices=["tabu", "annealing", "genetic", "gsa", "random"])
+    p.add_argument("--priority", type=int, default=0,
+                   help="queue priority (higher runs sooner; does not "
+                        "change the result)")
+    p.add_argument("--simulate", action="store_true",
+                   help="also sweep the mapping through the simulator")
+    p.add_argument("--request", metavar="FILE",
+                   help="submit a schedule_request JSON file instead of "
+                        "building one from the topology flags")
+    p.add_argument("--no-wait", action="store_true",
+                   help="enqueue and return a ticket instead of waiting")
+    p.add_argument("--timeout", type=float, default=120.0)
+    p.add_argument("--json", action="store_true",
+                   help="print the raw canonical response payload")
+    p.add_argument("--save", metavar="PATH",
+                   help="write the canonical response payload as JSON")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="print a running service's counters")
+    add_service_addr(p)
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_status)
 
     p = sub.add_parser("report", help="summarize a JSONL trace file")
     p.add_argument("trace_file", help="trace written by --trace PATH")

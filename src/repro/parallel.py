@@ -27,6 +27,19 @@ layer hardened for long sweeps:
   disk, so an interrupted sweep resumes bit-identically
   (:mod:`repro.checkpoint`).
 
+Pool lifetime is owned by :class:`WorkerPool`, a context-managed wrapper
+around :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+- one-shot callers let :func:`parallel_map` create and dispose a pool per
+  call (the historical behaviour);
+- resident callers — the scheduling service in :mod:`repro.service` —
+  create one :class:`WorkerPool` and pass it to every ``parallel_map``
+  call (``pool=``) or submit to it directly, so workers (and their
+  process-local distance-table caches) persist across requests;
+- on abnormal exits (``KeyboardInterrupt``, ``SystemExit``, a hung job's
+  :class:`JobTimeoutError`) the pool's workers are actively terminated
+  and reaped instead of being orphaned mid-job.
+
 Worker-count resolution, in precedence order:
 
 1. an explicit ``workers`` argument (``int``, ``0``/``"auto"`` for
@@ -39,9 +52,10 @@ Worker-count resolution, in precedence order:
 from __future__ import annotations
 
 import os
+import threading
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, TypeVar, Union
@@ -113,6 +127,132 @@ def resolve_workers(workers: WorkersLike = None) -> int:
 def _backoff_delay(attempt: int) -> float:
     """Capped exponential backoff delay before retry ``attempt`` (0-based)."""
     return min(BACKOFF_CAP, BACKOFF_BASE * (2.0 ** attempt))
+
+
+def _reap(executor: Optional[ProcessPoolExecutor], *, kill: bool) -> None:
+    """Shut an executor down and wait for its worker processes to exit.
+
+    With ``kill=True`` live workers receive ``SIGTERM`` first, so a hung
+    or interrupted job cannot keep the process tree alive; either way the
+    workers are joined (reaped) before returning.
+    """
+    if executor is None:
+        return
+    procs = list(getattr(executor, "_processes", {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    if kill:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+    for proc in procs:
+        proc.join(timeout=5.0)
+
+
+class WorkerPool:
+    """A persistent, context-managed process pool.
+
+    The executor is created lazily on first :meth:`submit` (so merely
+    constructing a pool never spawns processes) and reused until
+    :meth:`close` or :meth:`terminate`.  Exiting the ``with`` block on an
+    exception that is *not* an ordinary ``Exception`` — notably
+    ``KeyboardInterrupt`` — terminates the workers so they are reaped
+    instead of leaking; a clean exit waits for in-flight jobs.
+
+    Both :func:`parallel_map` (via ``pool=``) and the resident scheduling
+    service (:mod:`repro.service`) run on this class; a reused pool keeps
+    each worker process — and its process-local distance/routing-table
+    caches — warm across calls.
+    """
+
+    def __init__(self, workers: WorkersLike = None):
+        self.workers = resolve_workers(workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def active(self) -> bool:
+        """Whether an executor currently exists (workers may be live)."""
+        return self._executor is not None
+
+    @property
+    def closed(self) -> bool:
+        """Whether the pool was closed/terminated for good."""
+        return self._closed
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, created on demand.
+
+        Raises ``RuntimeError`` on a closed pool and propagates ``OSError``
+        when the platform cannot create a process pool at all (callers
+        fall back to serial or thread execution).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, initializer=_worker_init
+                )
+            return self._executor
+
+    def submit(self, fn: Callable[..., R], /, *args, **kwargs) -> "Future[R]":
+        """Submit one job to the pool (creating it if needed)."""
+        return self.executor().submit(fn, *args, **kwargs)
+
+    def map(self, fn: Callable[[T], R], jobs: Iterable[T], *,
+            retries: int = 0, timeout: Optional[float] = None,
+            checkpoint: Optional[SweepCheckpoint] = None) -> List[R]:
+        """:func:`parallel_map` on this pool (the pool stays open after)."""
+        return parallel_map(fn, jobs, pool=self, retries=retries,
+                            timeout=timeout, checkpoint=checkpoint)
+
+    # -------------------------------------------------------------- #
+
+    def restart(self) -> None:
+        """Terminate the current workers; the next use gets a fresh pool.
+
+        The resilience path for a resident pool: after a hung job or a
+        broken executor, discard the damaged workers (killing them so
+        they are reaped) without closing the pool for good.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        _reap(executor, kill=True)
+
+    def close(self) -> None:
+        """Wait for in-flight jobs, then shut the workers down."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def terminate(self) -> None:
+        """Cancel pending jobs, kill live workers and reap them."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        _reap(executor, kill=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # KeyboardInterrupt / SystemExit / GeneratorExit: the caller is
+        # being torn down — kill and reap rather than wait on stragglers.
+        if exc_type is not None and not issubclass(exc_type, Exception):
+            self.terminate()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "active" if self.active else "idle"
+        )
+        return f"WorkerPool(workers={self.workers}, {state})"
 
 
 def _record(checkpoint: Optional[SweepCheckpoint], index: int,
@@ -213,6 +353,7 @@ def parallel_map(
     retries: int = 0,
     timeout: Optional[float] = None,
     checkpoint: Optional[SweepCheckpoint] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> List[R]:
     """Map ``fn`` over ``jobs``, preserving job order in the results.
 
@@ -233,11 +374,19 @@ def parallel_map(
     - ``checkpoint`` — a :class:`~repro.checkpoint.SweepCheckpoint`;
       completed jobs are recorded durably and skipped on re-runs, so an
       interrupted map resumes where it left off with identical results.
+    - ``pool`` — a caller-owned :class:`WorkerPool` to run on.  The pool
+      is left open afterwards (the caller's context manager closes it),
+      its ``workers`` count takes precedence over ``workers``, and a job
+      failure does not tear it down — only a hang or breakage triggers a
+      :meth:`WorkerPool.restart`.
 
     If the pool itself cannot be created or dies (sandboxes that forbid
     ``fork``, resource exhaustion, a crashing worker), results that
     already completed are kept and only the unfinished jobs re-run on the
     serial path — the results are identical by contract, only slower.
+    Abnormal exits (``KeyboardInterrupt``, a job that exhausted its
+    ``timeout``) actively terminate and reap the workers instead of
+    orphaning them mid-job.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
@@ -257,51 +406,64 @@ def parallel_map(
                      completed=n_jobs - len(missing), total=n_jobs)
     if not missing:
         return results
-    n = resolve_workers(workers)
+    owned = pool is None
+    n = resolve_workers(workers) if owned else pool.workers
     with _trace.span("parallel.map", jobs=n_jobs, pending=len(missing),
                      workers=n) as sp:
         if n <= 1 or len(missing) <= 1:
             sp.set(mode="serial")
             _run_serial(fn, job_list, results, missing, retries, checkpoint)
             return results
+        wp = WorkerPool(min(n, len(missing))) if owned else pool
         try:
-            pool = ProcessPoolExecutor(max_workers=min(n, len(missing)),
-                                       initializer=_worker_init)
+            executor = wp.executor()
         except OSError as exc:
             sp.set(mode="serial-fallback")
             _warn_fallback(exc, len(missing), n_jobs)
             _run_serial(fn, job_list, results, missing, retries, checkpoint)
             return results
         sp.set(mode="pool")
-        graceful = True
         try:
-            _run_pool(pool, fn, job_list, results, missing, retries, timeout,
-                      checkpoint)
+            _run_pool(executor, fn, job_list, results, missing, retries,
+                      timeout, checkpoint)
         except JobTimeoutError:
             # JobTimeoutError subclasses TimeoutError (an OSError): keep it
             # out of the pool-died fallback below — re-running a hung job
-            # serially would hang the caller instead.
-            graceful = False
-            pool.shutdown(wait=False, cancel_futures=True)
+            # serially would hang the caller instead.  The hung worker is
+            # killed and reaped either way (a shared pool gets fresh
+            # workers on its next use).
+            if owned:
+                wp.terminate()
+            else:
+                wp.restart()
             raise
         except (BrokenProcessPool, OSError) as exc:
-            graceful = False
-            pool.shutdown(wait=False, cancel_futures=True)
+            if owned:
+                wp.terminate()
+            else:
+                wp.restart()
             still_missing = [i for i in range(n_jobs) if results[i] is _PENDING]
             sp.set(mode="pool-then-serial")
             _warn_fallback(exc, len(still_missing), n_jobs)
             _run_serial(fn, job_list, results, still_missing, retries,
                         checkpoint)
-        except BaseException:
-            graceful = False
-            # A job failed for good (or timed out): abandon the pool without
-            # waiting on stragglers; completed results are already
-            # checkpointed for a later resume.
-            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            # A job failed for good: an owned pool dies with the call
+            # (workers killed and reaped — completed results are already
+            # checkpointed for a later resume); a shared pool stays up for
+            # its other users.
+            if owned:
+                wp.terminate()
             raise
-        finally:
-            if graceful:
-                pool.shutdown(wait=True)
+        except BaseException:
+            # KeyboardInterrupt / SystemExit: the process is going down —
+            # kill and reap the workers regardless of who owns the pool so
+            # none leak past the interrupt.
+            wp.terminate()
+            raise
+        else:
+            if owned:
+                wp.close()
     return results
 
 
@@ -359,6 +521,7 @@ class _StarCall:
 
 __all__ = [
     "WorkersLike",
+    "WorkerPool",
     "WORKERS_ENV",
     "BACKOFF_BASE",
     "BACKOFF_CAP",

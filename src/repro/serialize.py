@@ -13,6 +13,11 @@ core value types round-trip through plain JSON:
 - :class:`~repro.obs.trace.TraceEvent` / :class:`~repro.obs.manifest.RunManifest`
   (telemetry records, wrapped so the trace-file ``type`` field stays
   untouched inside the payload)
+- :class:`~repro.service.protocol.ScheduleRequest` /
+  :class:`~repro.service.protocol.ScheduleResponse` /
+  :class:`~repro.service.protocol.ServiceStatus` (the service's wire
+  types, so request files and stored results are first-class artifacts —
+  ``repro submit --request file.json`` reads exactly this format)
 
 Each payload carries a ``"type"`` tag and a ``"version"`` so formats can
 evolve; :func:`load` dispatches on the tag.
@@ -29,6 +34,11 @@ from repro.distance.table import DistanceTable
 from repro.faults.model import FaultScenario
 from repro.obs.manifest import RunManifest
 from repro.obs.trace import TraceEvent
+from repro.service.protocol import (
+    ScheduleRequest,
+    ScheduleResponse,
+    ServiceStatus,
+)
 from repro.topology.graph import Topology
 
 _VERSION = 1
@@ -169,6 +179,36 @@ def run_manifest_from_dict(d: Dict[str, Any]) -> RunManifest:
     return RunManifest.from_record(d["record"])
 
 
+def schedule_request_to_dict(req: ScheduleRequest) -> Dict[str, Any]:
+    """Encode a service scheduling request (the wire form)."""
+    return req.to_dict()
+
+
+def schedule_request_from_dict(d: Dict[str, Any]) -> ScheduleRequest:
+    """Decode (and strictly validate) a schedule-request payload."""
+    return ScheduleRequest.from_dict(d)
+
+
+def schedule_response_to_dict(resp: ScheduleResponse) -> Dict[str, Any]:
+    """Encode a service response (the canonical deterministic payload)."""
+    return resp.to_dict()
+
+
+def schedule_response_from_dict(d: Dict[str, Any]) -> ScheduleResponse:
+    """Decode (and strictly validate) a schedule-response payload."""
+    return ScheduleResponse.from_dict(d)
+
+
+def service_status_to_dict(status: ServiceStatus) -> Dict[str, Any]:
+    """Encode a service status snapshot."""
+    return status.to_dict()
+
+
+def service_status_from_dict(d: Dict[str, Any]) -> ServiceStatus:
+    """Decode (and strictly validate) a service-status payload."""
+    return ServiceStatus.from_dict(d)
+
+
 # --------------------------------------------------------------------- #
 # generic entry points
 # --------------------------------------------------------------------- #
@@ -181,6 +221,9 @@ _ENCODERS = {
     FaultScenario: fault_scenario_to_dict,
     TraceEvent: trace_event_to_dict,
     RunManifest: run_manifest_to_dict,
+    ScheduleRequest: schedule_request_to_dict,
+    ScheduleResponse: schedule_response_to_dict,
+    ServiceStatus: service_status_to_dict,
 }
 
 _DECODERS = {
@@ -191,6 +234,9 @@ _DECODERS = {
     "fault_scenario": fault_scenario_from_dict,
     "trace_event": trace_event_from_dict,
     "run_manifest": run_manifest_from_dict,
+    "schedule_request": schedule_request_from_dict,
+    "schedule_response": schedule_response_from_dict,
+    "service_status": service_status_from_dict,
 }
 
 
@@ -256,4 +302,10 @@ __all__ = [
     "trace_event_from_dict",
     "run_manifest_to_dict",
     "run_manifest_from_dict",
+    "schedule_request_to_dict",
+    "schedule_request_from_dict",
+    "schedule_response_to_dict",
+    "schedule_response_from_dict",
+    "service_status_to_dict",
+    "service_status_from_dict",
 ]

@@ -1,0 +1,103 @@
+"""repro.service — a batching, backpressure-aware scheduling service.
+
+The resident counterpart of the one-shot CLI: an asyncio daemon that
+accepts JSON scheduling requests (topology + cluster spec + search
+method) over a stream socket and answers with the deterministic mapping,
+its F_G/D_G/C_c scores and, optionally, simulated latency — amortizing
+topology analysis (up*/down* routing, tables of equivalent distances)
+across requests instead of rebuilding it per invocation.
+
+Layers (one module each):
+
+- :mod:`~repro.service.protocol` — wire types, strict decoding, request
+  fingerprints, the determinism contract;
+- :mod:`~repro.service.store` — content-addressed TTL result store;
+- :mod:`~repro.service.queue` — admission policy, backpressure, the
+  bounded priority queue with the micro-batching window;
+- :mod:`~repro.service.batch` — batch planning by topology fingerprint
+  and the pure worker-side executor;
+- :mod:`~repro.service.server` — the daemon tying it all to a persistent
+  :class:`repro.parallel.WorkerPool`;
+- :mod:`~repro.service.client` — the blocking client the CLI and the
+  load bench use.
+
+Entry points: ``repro serve`` / ``repro submit`` / ``repro status``, or
+programmatically::
+
+    from repro.service import ServiceConfig, running_service, ServiceClient
+
+    with running_service(ServiceConfig(port=0)) as service:
+        host, port = service.address
+        with ServiceClient(host, port) as client:
+            reply = client.submit(request)
+"""
+
+from repro.service.batch import (
+    BatchGroup,
+    execute_batch,
+    execute_request,
+    plan_batches,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    SEARCH_METHODS,
+    ProtocolError,
+    ScheduleRequest,
+    ScheduleResponse,
+    ServiceStatus,
+    SimulateSpec,
+    build_search,
+    decode_line,
+    encode_line,
+)
+from repro.service.queue import (
+    AdmissionError,
+    AdmissionPolicy,
+    BackpressureError,
+    Job,
+    JobQueue,
+)
+from repro.service.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    SchedulerService,
+    ServiceConfig,
+    run_service,
+    running_service,
+)
+from repro.service.store import ResultStore, StoreStats
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionPolicy",
+    "BackpressureError",
+    "BatchGroup",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Job",
+    "JobQueue",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ResultStore",
+    "SEARCH_METHODS",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulerService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceStatus",
+    "SimulateSpec",
+    "StoreStats",
+    "build_search",
+    "decode_line",
+    "encode_line",
+    "execute_batch",
+    "execute_request",
+    "plan_batches",
+    "run_service",
+    "running_service",
+]

@@ -1,0 +1,554 @@
+"""The resident scheduling daemon: asyncio front-end over a worker pool.
+
+Request lifecycle::
+
+    client ──line-JSON──▶ connection handler
+        │ store hit?  ──────────────▶ reply (served from "store")
+        │ identical request in flight? ─▶ await its future ("inflight")
+        │ admission check ──────────▶ reject ("rejected")
+        │ queue.put_nowait ─────────▶ reject ("backpressure") when full
+        ▼
+    micro-batcher (drains the priority queue in windows, groups by
+    topology fingerprint, folds duplicates)
+        ▼
+    persistent WorkerPool ── execute_batch ──▶ canonical response dicts
+        ▼
+    result store (TTL) + every waiter's future resolved
+
+The whole pipeline is instrumented through :mod:`repro.obs`
+(``service.queue.depth`` gauge, ``service.batch.size`` histogram,
+``service.request`` spans) and keeps answering for faulted topologies via
+degraded-mode scheduling (see :mod:`repro.service.batch`).
+
+Determinism: the computed payload for a request is byte-identical whether
+it is served solo, coalesced into a batch, or replayed from the store —
+the serving path only shows up in the reply envelope's ``served`` field.
+
+Sandbox resilience: when the platform cannot run a process pool at all
+(``fork`` forbidden), execution transparently falls back to a thread —
+same results by purity of :func:`execute_batch`, just no process
+isolation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.parallel import WorkerPool, WorkersLike
+from repro.service.batch import BatchGroup, execute_batch, plan_batches
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    ScheduleRequest,
+    ServiceStatus,
+    decode_line,
+    encode_line,
+    error_envelope,
+    ok_envelope,
+)
+from repro.service.queue import (
+    AdmissionError,
+    AdmissionPolicy,
+    BackpressureError,
+    Job,
+    JobQueue,
+)
+from repro.service.store import ResultStore
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7421
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    ``batching=False`` dispatches one request per pool job and
+    ``dedup=False`` disables both the store and in-flight coalescing;
+    together with ``cold=True`` (clear worker caches per request) they
+    form the naive one-request-one-run baseline the load bench compares
+    against.
+    """
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT          # 0 = ephemeral (tests/bench)
+    workers: WorkersLike = None       # None → $REPRO_WORKERS or 1
+    max_pending: int = 64
+    max_batch: int = 16
+    batch_window: float = 0.02        # seconds the batcher waits to fill
+    store_ttl: Optional[float] = 300.0
+    store_size: int = 1024
+    max_inflight_batches: Optional[int] = None   # None → 2 × workers
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    batching: bool = True
+    dedup: bool = True
+    cold: bool = False                # bench baseline: per-request cache clear
+
+
+class SchedulerService:
+    """The daemon: queue + batcher + persistent pool + store, one loop."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.store = ResultStore(ttl=self.config.store_ttl,
+                                 max_entries=self.config.store_size)
+        self.pool = WorkerPool(self.config.workers)
+        self.queue: Optional[JobQueue] = None       # built on the loop
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._group_tasks: set = set()
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started_at = 0.0
+        self._use_threads = False     # set when process pools are unavailable
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "served_computed": 0, "served_store": 0, "served_inflight": 0,
+            "rejected_backpressure": 0, "rejected_admission": 0,
+            "rejected_protocol": 0, "failed": 0,
+            "batches": 0, "batched_requests": 0, "max_batch": 0,
+        }
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the socket, start the dispatcher; returns (host, port)."""
+        self.queue = JobQueue(self.config.max_pending)
+        self._stop_event = asyncio.Event()
+        # Bound the batches handed to the pool at once: when every slot is
+        # taken the dispatcher stops popping, the queue fills, and clients
+        # see backpressure — instead of unbounded fan-out hiding overload
+        # inside the executor's own queue.
+        slots = self.config.max_inflight_batches
+        if slots is None:
+            slots = max(2, 2 * self.pool.workers)
+        self._group_sem = asyncio.Semaphore(max(1, slots))
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._started_at = time.monotonic()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        _trace.event("service.started", host=self.address[0],
+                     port=self.address[1], workers=self.pool.workers)
+        return self.address
+
+    def request_stop(self) -> None:
+        """Signal the daemon to stop (safe from any thread via its loop)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`request_stop`, then shut down cleanly."""
+        await self._stop_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, fail queued work, close the pool (reaping it)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+            self._dispatcher = None
+        for task in list(self._group_tasks):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        if self.queue is not None:
+            for job in self.queue.drain():
+                if not job.future.done():
+                    job.future.set_exception(
+                        ConnectionError("service is shutting down"))
+        for fut in list(self._inflight.values()):
+            if not fut.done():
+                fut.set_exception(ConnectionError("service is shutting down"))
+        self._inflight.clear()
+        # Pool close waits for in-flight jobs; do it off-loop so a long
+        # job cannot wedge the shutdown path.
+        await asyncio.get_running_loop().run_in_executor(None, self.pool.close)
+        _trace.event("service.stopped")
+
+    # -------------------------------------------------------------- #
+    # dispatcher: queue → batches → pool
+    # -------------------------------------------------------------- #
+
+    async def _dispatch_loop(self) -> None:
+        cfg = self.config
+        max_batch = cfg.max_batch if cfg.batching else 1
+        window = cfg.batch_window if cfg.batching else 0.0
+        while True:
+            await self._group_sem.acquire()   # capacity before popping work
+            try:
+                jobs = await self.queue.get_batch(max_batch, window)
+            except BaseException:
+                self._group_sem.release()
+                raise
+            groups = plan_batches(jobs, dedup=cfg.dedup)
+            for i, group in enumerate(groups):
+                if i > 0:                      # first group uses the held slot
+                    await self._group_sem.acquire()
+                task = asyncio.create_task(self._run_group(group))
+                self._group_tasks.add(task)
+                task.add_done_callback(self._on_group_done)
+            if not groups:                     # pragma: no cover - defensive
+                self._group_sem.release()
+
+    def _on_group_done(self, task: "asyncio.Task") -> None:
+        self._group_tasks.discard(task)
+        self._group_sem.release()
+
+    async def _run_group(self, group: BatchGroup) -> None:
+        payloads = group.payloads()
+        self._counters["batches"] += 1
+        self._counters["batched_requests"] += group.total
+        self._counters["max_batch"] = max(self._counters["max_batch"],
+                                          group.total)
+        _metrics.observe("service.batch.size", group.total)
+        _metrics.observe("service.batch.unique", group.unique)
+        served = {"from": "computed", "batch_size": group.total,
+                  "unique": group.unique}
+        try:
+            results = await self._execute(payloads)
+        except Exception as exc:
+            self._counters["failed"] += group.total
+            for entry in group.entries:
+                for job in entry:
+                    if not job.future.done():
+                        job.future.set_exception(exc)
+            return
+        for entry, result in zip(group.entries, results):
+            if self.config.dedup:
+                self.store.put(entry[0].fingerprint, result)
+            for job in entry:
+                if not job.future.done():
+                    job.future.set_result((result, served))
+
+    async def _execute(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Run one batch on the persistent pool (thread fallback if none)."""
+        loop = asyncio.get_running_loop()
+        if not self._use_threads:
+            try:
+                future = self.pool.submit(execute_batch, payloads,
+                                          self.config.cold)
+                return await asyncio.wrap_future(future)
+            except (OSError, RuntimeError, BrokenProcessPool) as exc:
+                # One retry on a fresh pool, then settle on threads: a
+                # sandbox that cannot fork will not learn to overnight.
+                self.pool.restart()
+                try:
+                    future = self.pool.submit(execute_batch, payloads,
+                                              self.config.cold)
+                    return await asyncio.wrap_future(future)
+                except (OSError, RuntimeError, BrokenProcessPool):
+                    self._use_threads = True
+                    _trace.event("service.pool.thread_fallback",
+                                 error=repr(exc))
+        return await loop.run_in_executor(None, execute_batch, payloads,
+                                          self.config.cold)
+
+    # -------------------------------------------------------------- #
+    # connection handling
+    # -------------------------------------------------------------- #
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._counters["rejected_protocol"] += 1
+                    writer.write(encode_line(error_envelope(
+                        "protocol", "message exceeds the frame limit")))
+                    await writer.drain()
+                    break
+                if not raw:
+                    break
+                stop_after = False
+                try:
+                    message = decode_line(raw)
+                    op = message.get("op")
+                    if op == "shutdown":
+                        stop_after = True
+                    reply = await self._dispatch_op(message)
+                except ProtocolError as exc:
+                    self._counters["rejected_protocol"] += 1
+                    reply = error_envelope("protocol", str(exc))
+                writer.write(encode_line(reply))
+                await writer.drain()
+                if stop_after:
+                    self.request_stop()
+                    break
+        except asyncio.CancelledError:
+            # Only stop() cancels connection tasks; finishing normally keeps
+            # asyncio's stream protocol from logging the cancellation.
+            pass
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch_op(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        if op == "ping":
+            from repro import __version__
+            return ok_envelope(op="ping", version=__version__)
+        if op == "status":
+            return ok_envelope(status=self.status().to_dict())
+        if op == "submit":
+            return await self._handle_submit(message)
+        if op == "result":
+            return self._handle_result(message)
+        if op == "shutdown":
+            return ok_envelope(stopping=True)
+        return error_envelope("unknown-op", f"unknown op {op!r}")
+
+    async def _handle_submit(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            request = ScheduleRequest.from_dict(message.get("request"))
+        except ProtocolError as exc:
+            self._counters["rejected_protocol"] += 1
+            return error_envelope("bad-request", str(exc))
+        wait = message.get("wait", True)
+        if not isinstance(wait, bool):
+            return error_envelope("bad-request", "'wait' must be a boolean")
+        fingerprint = request.fingerprint()
+        self._counters["requests"] += 1
+        with _trace.span("service.request", fingerprint=fingerprint[:12],
+                         method=request.method) as sp:
+            if self.config.dedup:
+                stored = self.store.get(fingerprint)
+                if stored is not None:
+                    self._counters["served_store"] += 1
+                    sp.set(served="store")
+                    return ok_envelope(result=stored,
+                                       served={"from": "store"})
+                pending = self._inflight.get(fingerprint)
+                if pending is not None:
+                    if not wait:
+                        return ok_envelope(ticket=fingerprint,
+                                           status="pending")
+                    sp.set(served="inflight")
+                    return await self._await_future(pending, "inflight")
+            try:
+                self.config.admission.check(request)
+            except AdmissionError as exc:
+                self._counters["rejected_admission"] += 1
+                sp.set(served="rejected")
+                return error_envelope("rejected", str(exc))
+            future = asyncio.get_running_loop().create_future()
+            job = Job(request=request, payload=request.to_dict(),
+                      fingerprint=fingerprint, future=future,
+                      priority=request.priority)
+            try:
+                self.queue.put_nowait(job)
+            except BackpressureError as exc:
+                self._counters["rejected_backpressure"] += 1
+                sp.set(served="backpressure")
+                return error_envelope("backpressure", str(exc),
+                                      retry_after=exc.retry_after)
+            if self.config.dedup:
+                self._inflight[fingerprint] = future
+                future.add_done_callback(
+                    lambda _f, fp=fingerprint: self._inflight.pop(fp, None))
+            if not wait:
+                return ok_envelope(ticket=fingerprint, status="queued")
+            sp.set(served="computed")
+            return await self._await_future(future, "computed")
+
+    async def _await_future(self, future: "asyncio.Future",
+                            source: str) -> Dict[str, Any]:
+        try:
+            result, served = await asyncio.shield(future)
+        except Exception as exc:
+            self._counters["failed"] += 1
+            return error_envelope("failed", f"{type(exc).__name__}: {exc}")
+        if source == "inflight":
+            self._counters["served_inflight"] += 1
+            served = {**served, "from": "inflight"}
+        else:
+            self._counters["served_computed"] += 1
+        return ok_envelope(result=result, served=served)
+
+    def _handle_result(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        ticket = message.get("ticket")
+        if not isinstance(ticket, str):
+            return error_envelope("bad-request", "'ticket' must be a string")
+        stored = self.store.get(ticket)
+        if stored is not None:
+            return ok_envelope(result=stored, served={"from": "store"})
+        if ticket in self._inflight or self._queued(ticket):
+            return ok_envelope(ticket=ticket, status="pending")
+        return error_envelope("unknown-ticket",
+                              f"no stored or pending result for {ticket!r}")
+
+    def _queued(self, fingerprint: str) -> bool:
+        # Without dedup there is no in-flight table; a queued job is still
+        # "pending" from the client's point of view.
+        return any(job.fingerprint == fingerprint
+                   for _, _, job in getattr(self.queue, "_queue")._queue)
+
+    # -------------------------------------------------------------- #
+    # status
+    # -------------------------------------------------------------- #
+
+    def status(self) -> ServiceStatus:
+        """A deterministic-schema snapshot for the ``status`` op."""
+        from repro import __version__
+
+        c = self._counters
+        store_stats = self.store.stats()
+        batches = c["batches"]
+        return ServiceStatus(
+            version=__version__,
+            uptime_seconds=round(time.monotonic() - self._started_at, 3),
+            requests_total=c["requests"],
+            served={
+                "computed": c["served_computed"],
+                "store": c["served_store"],
+                "inflight": c["served_inflight"],
+            },
+            rejected={
+                "backpressure": c["rejected_backpressure"],
+                "admission": c["rejected_admission"],
+                "protocol": c["rejected_protocol"],
+                "failed": c["failed"],
+            },
+            queue_depth=self.queue.depth if self.queue is not None else 0,
+            queue_capacity=self.config.max_pending,
+            inflight=len(self._inflight),
+            store={
+                "size": store_stats.size,
+                "hits": store_stats.hits,
+                "misses": store_stats.misses,
+                "evictions": store_stats.evictions,
+                "expirations": store_stats.expirations,
+            },
+            pool={
+                "workers": self.pool.workers,
+                "active": self.pool.active,
+                "thread_fallback": self._use_threads,
+            },
+            batches={
+                "count": batches,
+                "requests": c["batched_requests"],
+                "mean_size": (round(c["batched_requests"] / batches, 3)
+                              if batches else None),
+                "max_size": c["max_batch"],
+            },
+        )
+
+
+# --------------------------------------------------------------------- #
+# entry points
+# --------------------------------------------------------------------- #
+
+def run_service(config: Optional[ServiceConfig] = None, *,
+                ready_message: bool = True) -> int:
+    """Run a service until SIGINT/SIGTERM or a ``shutdown`` op (blocking).
+
+    The ``repro serve`` entry point.  Returns a process exit code; the
+    pool's workers are reaped on every exit path (the KeyboardInterrupt
+    teardown contract of :class:`repro.parallel.WorkerPool`).
+    """
+    service = SchedulerService(config)
+
+    async def _main() -> None:
+        host, port = await service.start()
+        if ready_message:
+            print(f"repro service listening on {host}:{port} "
+                  f"(workers={service.pool.workers}, "
+                  f"max_pending={service.config.max_pending})", flush=True)
+        await service.serve_until_stopped()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        service.pool.terminate()
+        if ready_message:
+            print("interrupted — workers reaped", flush=True)
+        return 130
+    return 0
+
+
+@contextlib.contextmanager
+def running_service(config: Optional[ServiceConfig] = None):
+    """Run a service on a background thread; yields it with ``.address``.
+
+    The harness used by tests, the CI smoke job and the load bench::
+
+        with running_service(ServiceConfig(port=0)) as service:
+            host, port = service.address
+            ...
+
+    On exit the daemon is stopped and its pool closed (or reaped, if the
+    body raised a ``KeyboardInterrupt``-class exception).
+    """
+    service = SchedulerService(config)
+    started = threading.Event()
+    failure: List[BaseException] = []
+    loop_holder: Dict[str, asyncio.AbstractEventLoop] = {}
+
+    async def _main() -> None:
+        try:
+            await service.start()
+        except BaseException as exc:  # bind failures surface to the caller
+            failure.append(exc)
+            started.set()
+            raise
+        loop_holder["loop"] = asyncio.get_running_loop()
+        started.set()
+        await service.serve_until_stopped()
+
+    thread = threading.Thread(target=lambda: asyncio.run(_main()),
+                              name="repro-service", daemon=True)
+    thread.start()
+    started.wait(timeout=30.0)
+    if failure:
+        raise failure[0]
+    if service.address is None:
+        raise RuntimeError("service failed to start within 30s")
+    try:
+        yield service
+    finally:
+        loop = loop_holder.get("loop")
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(service.request_stop)
+        thread.join(timeout=60.0)
+
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ServiceConfig",
+    "SchedulerService",
+    "run_service",
+    "running_service",
+]

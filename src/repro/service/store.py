@@ -1,0 +1,168 @@
+"""Content-addressed result store with TTL — the service's dedup layer.
+
+Keys are request fingerprints (:meth:`ScheduleRequest.fingerprint`), i.e.
+content hashes over everything that determines the result; values are the
+canonical :class:`ScheduleResponse` dicts.  Because the scheduler is
+deterministic, replaying a stored value is indistinguishable from
+recomputing it — the store is a pure cache, the TTL only bounds staleness
+against *code* changes (a redeployed service starts empty) and memory
+growth.
+
+Expiry uses an injectable monotonic clock so tests can step time instead
+of sleeping; capacity eviction is LRU.  All counters are mirrored to the
+active :class:`~repro.obs.metrics.MetricsRegistry` as
+``service.store.{hits,misses,evictions,expirations}`` (no-ops when
+telemetry is off).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counters of one :class:`ResultStore`."""
+
+    size: int
+    max_entries: int
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultStore:
+    """A thread-safe LRU + TTL map from request fingerprint to response.
+
+    Parameters
+    ----------
+    ttl:
+        Seconds an entry stays servable after being stored; ``None``
+        disables expiry.
+    max_entries:
+        Capacity bound; the least-recently-used entry is evicted beyond it.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, ttl: Optional[float] = 300.0, max_entries: int = 1024,
+                 *, clock: Callable[[], float] = time.monotonic):
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be > 0 seconds or None, got {ttl}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.ttl = ttl
+        self.max_entries = int(max_entries)
+        self._clock = clock
+        self._entries: "OrderedDict[str, Tuple[float, Dict[str, Any]]]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    # -------------------------------------------------------------- #
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored response for ``key``, or ``None`` (missing/expired)."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry[0], now):
+                del self._entries[key]
+                self._expirations += 1
+                entry = None
+                expired = True
+            else:
+                expired = False
+            if entry is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+                self._entries.move_to_end(key)
+        if expired:
+            _metrics.inc("service.store.expirations")
+        _metrics.inc(f"service.store.{'misses' if entry is None else 'hits'}")
+        return entry[1] if entry is not None else None
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        """Store (or refresh) ``key``; evicts LRU entries beyond capacity."""
+        now = self._clock()
+        evicted = 0
+        with self._lock:
+            self._entries[key] = (now, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        if evicted:
+            _metrics.inc("service.store.evictions", evicted)
+
+    def purge(self) -> int:
+        """Drop every expired entry; returns how many were dropped."""
+        if self.ttl is None:
+            return 0
+        now = self._clock()
+        with self._lock:
+            dead = [k for k, (t, _) in self._entries.items()
+                    if self._expired(t, now)]
+            for k in dead:
+                del self._entries[k]
+            self._expirations += len(dead)
+        if dead:
+            _metrics.inc("service.store.expirations", len(dead))
+        return len(dead)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # -------------------------------------------------------------- #
+
+    def _expired(self, stored_at: float, now: float) -> bool:
+        return self.ttl is not None and now - stored_at > self.ttl
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and not self._expired(entry[0], now)
+
+    def stats(self) -> StoreStats:
+        """Snapshot of size and hit/miss/eviction/expiration counters."""
+        with self._lock:
+            return StoreStats(
+                size=len(self._entries),
+                max_entries=self.max_entries,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+            )
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"ResultStore(size={s.size}/{s.max_entries}, ttl={self.ttl}, "
+                f"hits={s.hits}, misses={s.misses})")
+
+
+__all__ = ["ResultStore", "StoreStats"]

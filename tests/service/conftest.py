@@ -1,0 +1,29 @@
+"""Shared fixtures for the service suite: small requests, fast configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ScheduleRequest
+from repro.topology.irregular import random_irregular_topology
+
+
+@pytest.fixture(scope="session")
+def service_topo():
+    """A small topology so service tests stay fast."""
+    return random_irregular_topology(8, seed=11, name="svc8")
+
+
+@pytest.fixture()
+def make_request(service_topo):
+    """Factory for small scheduling requests against ``service_topo``."""
+
+    def _make(*, seed: int = 1, priority: int = 0, method: str = "tabu",
+              topology=None, **kwargs) -> ScheduleRequest:
+        return ScheduleRequest.build(
+            topology if topology is not None else service_topo,
+            clusters=4, method=method, seed=seed, priority=priority,
+            **kwargs,
+        )
+
+    return _make

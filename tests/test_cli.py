@@ -169,3 +169,102 @@ class TestFailuresCommand:
         out = capsys.readouterr().out
         assert "failure injection" in out
         assert "survivable failures: 3/3" in out
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    """``repro submit`` / ``repro status`` against a live loopback daemon."""
+
+    @pytest.fixture()
+    def service(self):
+        from repro.service import ServiceConfig, running_service
+
+        with running_service(ServiceConfig(port=0, workers=1,
+                                           batch_window=0.01)) as svc:
+            yield svc
+
+    def test_submit_prints_scores_and_partition(self, service, capsys):
+        host, port = service.address
+        assert main(["submit", "--host", host, "--port", str(port),
+                     "--switches", "8", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "F_G=" in out and "cluster 0:" in out
+        assert "served:   computed" in out
+
+    def test_second_submit_is_served_from_the_store(self, service, capsys):
+        host, port = service.address
+        args = ["submit", "--host", host, "--port", str(port),
+                "--switches", "8", "--seed", "3"]
+        main(args)
+        capsys.readouterr()
+        main(args)
+        assert "served:   store" in capsys.readouterr().out
+
+    def test_submit_json_emits_the_canonical_payload(self, service, capsys):
+        from repro.service import ScheduleRequest, execute_batch
+        from repro.topology.irregular import random_irregular_topology
+
+        host, port = service.address
+        assert main(["submit", "--host", host, "--port", str(port),
+                     "--switches", "8", "--seed", "4", "--json"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        # The CLI seeds the generated topology and the search identically.
+        topo = random_irregular_topology(8, seed=4)
+        req = ScheduleRequest.build(topo, clusters=4, seed=4)
+        assert printed == execute_batch([req.to_dict()])[0]
+
+    def test_submit_request_file_round_trip(self, service, tmp_path, capsys):
+        from repro import serialize
+        from repro.service import ScheduleRequest
+        from repro.topology.irregular import random_irregular_topology
+
+        topo = random_irregular_topology(8, seed=6)
+        req = ScheduleRequest.build(topo, clusters=2, seed=6)
+        path = tmp_path / "req.json"
+        serialize.save(req, path)
+        host, port = service.address
+        out_path = tmp_path / "resp.json"
+        assert main(["submit", "--host", host, "--port", str(port),
+                     "--request", str(path), "--save", str(out_path)]) == 0
+        saved = json.loads(out_path.read_text())
+        assert saved["fingerprint"] == req.fingerprint()
+
+    def test_status_renders_counters(self, service, capsys):
+        host, port = service.address
+        main(["submit", "--host", host, "--port", str(port),
+              "--switches", "8", "--seed", "5"])
+        capsys.readouterr()
+        assert main(["status", "--host", host, "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "requests:" in out and "store:" in out and "pool:" in out
+
+    def test_status_json_is_a_valid_service_status(self, service, capsys):
+        from repro import serialize
+
+        host, port = service.address
+        assert main(["status", "--host", host, "--port", str(port),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert serialize.from_dict(payload).queue_capacity == 64
+
+    def test_submit_without_a_service_fails_cleanly(self, capsys):
+        with pytest.raises(SystemExit, match="no service"):
+            main(["submit", "--host", "127.0.0.1", "--port", "1",
+                  "--switches", "8"])
+
+    def test_bad_request_file_fails_cleanly(self, service, tmp_path):
+        host, port = service.address
+        path = tmp_path / "bad.json"
+        path.write_text('{"type": "schedule_request"}')
+        with pytest.raises(SystemExit):
+            main(["submit", "--host", host, "--port", str(port),
+                  "--request", str(path)])

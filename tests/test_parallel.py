@@ -328,3 +328,102 @@ class TestCheckpointIntegration:
 
 def _boom(x):
     raise AssertionError("job re-ran despite being checkpointed")
+
+
+class TestWorkerPool:
+    def test_construction_is_lazy(self):
+        pool = parallel_mod.WorkerPool(2)
+        assert not pool.active and not pool.closed
+        pool.close()
+
+    def test_map_reuses_one_executor_across_calls(self):
+        with parallel_mod.WorkerPool(2) as pool:
+            assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+            executor = pool._executor
+            assert pool.map(_square, [4, 5]) == [16, 25]
+            assert pool._executor is executor      # same processes, warm
+        assert pool.closed and not pool.active
+
+    def test_pool_results_match_serial(self):
+        serial = parallel_map(_square, list(range(10)), workers=1)
+        with parallel_mod.WorkerPool(3) as pool:
+            pooled = pool.map(_square, list(range(10)))
+        assert pooled == serial
+
+    def test_submit_single_jobs(self):
+        with parallel_mod.WorkerPool(2) as pool:
+            futures = [pool.submit(_square, x) for x in (2, 3)]
+            assert [f.result() for f in futures] == [4, 9]
+
+    def test_closed_pool_refuses_work(self):
+        pool = parallel_mod.WorkerPool(2)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(_square, 1)
+
+    def test_restart_discards_workers_but_keeps_the_pool_usable(self):
+        with parallel_mod.WorkerPool(2) as pool:
+            assert pool.map(_square, [1, 2]) == [1, 4]
+            pool.restart()
+            assert not pool.active and not pool.closed
+            assert pool.map(_square, [3]) == [9]
+
+    def test_terminate_reaps_worker_processes(self):
+        pool = parallel_mod.WorkerPool(2)
+        assert pool.map(_slow_square, [1, 2]) == [1, 4]
+        procs = list(pool._executor._processes.values())
+        assert procs
+        pool.terminate()
+        for proc in procs:
+            assert not proc.is_alive()
+        assert pool.closed
+
+    def test_keyboard_interrupt_exit_reaps_workers(self):
+        # The KeyboardInterrupt teardown contract: leaving the with-block
+        # on a BaseException must kill and join the worker processes, not
+        # leave them waiting on the job queue forever.
+        pool = parallel_mod.WorkerPool(2)
+        procs = []
+        with pytest.raises(KeyboardInterrupt):
+            with pool:
+                assert pool.map(_square, [1, 2]) == [1, 4]
+                procs = list(pool._executor._processes.values())
+                raise KeyboardInterrupt()
+        assert procs
+        for proc in procs:
+            assert not proc.is_alive()
+        assert pool.closed
+
+    def test_clean_exit_waits_for_inflight_jobs(self):
+        with parallel_mod.WorkerPool(2) as pool:
+            future = pool.submit(_slow_square, 7)
+        assert future.result(timeout=0) == 49   # already done at exit
+
+
+class TestParallelMapOnSharedPool:
+    def test_shared_pool_stays_open_after_map(self):
+        with parallel_mod.WorkerPool(2) as pool:
+            parallel_map(_square, [1, 2], pool=pool)
+            assert not pool.closed
+            assert parallel_map(_square, [3], pool=pool) == [9]
+
+    def test_worker_crash_on_shared_pool_restarts_not_closes(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        with parallel_mod.WorkerPool(2) as pool:
+            jobs = [(x, marker, 2) for x in range(4)]
+            out = parallel_map(_crash_worker_on, jobs, pool=pool)
+            assert out == [0, 1, 4, 9]
+            # The pool survived the BrokenProcessPool and is still usable.
+            assert not pool.closed
+            assert pool.map(_square, [5]) == [25]
+
+    def test_timeout_on_shared_pool_keeps_it_usable(self):
+        # Two jobs so the map takes the pool path (timeouts are enforced
+        # in pool mode only); the hang restarts the shared pool's workers
+        # but leaves the pool itself open for its next user.
+        with parallel_mod.WorkerPool(2) as pool:
+            with pytest.raises(JobTimeoutError):
+                parallel_map(_slow_square, [100, 200], pool=pool,
+                             timeout=0.05)
+            assert not pool.closed
+            assert pool.map(_square, [6, 7]) == [36, 49]

@@ -121,3 +121,73 @@ class TestValidation:
         raw = json.loads(path.read_text())
         assert raw["type"] == "topology"
         assert isinstance(raw["links"], list)
+
+
+class TestServiceTypes:
+    """Round-trips and strict rejection for the service's wire types."""
+
+    @pytest.fixture()
+    def request_obj(self):
+        from repro.service import ScheduleRequest
+
+        topo = random_irregular_topology(8, seed=3)
+        return ScheduleRequest.build(topo, clusters=4, seed=5, priority=2)
+
+    def test_schedule_request_round_trip(self, tmp_path, request_obj):
+        path = tmp_path / "req.json"
+        serialize.save(request_obj, path)
+        loaded = serialize.load(path)
+        assert loaded.to_dict() == request_obj.to_dict()
+        assert loaded.fingerprint() == request_obj.fingerprint()
+
+    def test_schedule_response_round_trip(self, tmp_path, request_obj):
+        from repro.service import ScheduleResponse
+        from repro.service.batch import execute_request
+
+        payload = execute_request(request_obj.to_dict())
+        resp = ScheduleResponse.from_dict(payload)
+        path = tmp_path / "resp.json"
+        serialize.save(resp, path)
+        assert serialize.load(path).to_dict() == payload
+
+    def test_service_status_round_trip(self, tmp_path):
+        from repro.service import ServiceConfig, running_service
+
+        with running_service(ServiceConfig(port=0, workers=1)) as svc:
+            status = svc.status()
+        path = tmp_path / "status.json"
+        serialize.save(status, path)
+        assert serialize.load(path).to_dict() == status.to_dict()
+
+    def test_generic_dispatch_knows_the_new_tags(self, request_obj):
+        d = serialize.to_dict(request_obj)
+        assert d["type"] == "schedule_request"
+        assert serialize.from_dict(d).fingerprint() \
+            == request_obj.fingerprint()
+
+    def test_malformed_request_payload_rejected(self, request_obj):
+        from repro.service import ProtocolError
+
+        d = serialize.to_dict(request_obj)
+        d["method"] = "quantum"
+        with pytest.raises(ProtocolError):
+            serialize.from_dict(d)
+        d2 = serialize.to_dict(request_obj)
+        d2["extra_field"] = 1
+        with pytest.raises(ProtocolError, match="unknown keys"):
+            serialize.from_dict(d2)
+
+    def test_malformed_response_payload_rejected(self, request_obj):
+        from repro.service import ProtocolError
+        from repro.service.batch import execute_request
+
+        payload = execute_request(request_obj.to_dict())
+        payload["partition"] = {"type": "partition"}
+        with pytest.raises(ProtocolError):
+            serialize.from_dict(payload)
+
+    def test_malformed_status_payload_rejected(self):
+        from repro.service import ProtocolError
+
+        with pytest.raises(ProtocolError, match="missing"):
+            serialize.from_dict({"type": "service_status"})
