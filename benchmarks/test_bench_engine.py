@@ -1,15 +1,31 @@
-"""Benchmark: struct-of-arrays engine vs the readable reference engine.
+"""Benchmark: the array kernels vs the readable reference engine.
 
 Fig.-3-scale work: the 16-switch network's OP mapping plus three random
 mappings, each swept across the 9-point load ladder, once per engine.
 Every point's canonical payload must match bit-for-bit (the tentpole
-guarantee); the wall-clock ratio is recorded to
+guarantee); the wall-clock ratios are recorded to
 ``benchmarks/BENCH_engine.json``.
 
-Timing protocol: the box this runs on is noisy, so each (mapping, rate,
-engine) cell is timed best-of-``REPS`` and the aggregate is the sum of
+Two comparisons:
+
+- ``fast`` vs ``reference`` — one simulator per (mapping, rate) cell;
+- ``batch`` vs both — each mapping's whole 9-rate ladder runs as a single
+  :func:`simulate_batch` call, the way ``run_load_sweep`` uses it.
+
+Timing protocol: the box this runs on is noisy, so each cell (and each
+batched ladder) is timed best-of-``REPS`` and the aggregate is the sum of
 the best times.  The recorded speedup therefore reflects the engines'
 intrinsic cost ratio, not scheduler jitter.
+
+On the batch floor: the ISSUE's 10x target assumes the replication axis
+amortizes per-cycle work, but bit-identity pins every RNG draw and
+arbitration decision to the reference's scalar order, so the batch
+kernel's win comes from replication-level event skipping and tighter
+scalar paths, not vectorization — measured ~0.95-1.1x over ``fast``
+(larger batches skip more; the 36-cell mega-batch clears 1x) and ~5x
+over the reference on this workload.  The asserts below are
+non-regression floors for the honest numbers, not the aspirational
+target.
 """
 
 import json
@@ -21,6 +37,7 @@ from conftest import run_once
 
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import canonical_payload, make_simulator
+from repro.simulation.engine_batch import simulate_batch
 from repro.simulation.traffic import IntraClusterTraffic
 
 BENCH_PATH = Path(__file__).parent / "BENCH_engine.json"
@@ -54,11 +71,25 @@ def _time_point(table, mapping, rate, cfg):
     return best, payload
 
 
+def _time_ladder_batched(table, mapping, cfg):
+    """Best-of-REPS wall time for one mapping's ladder as a single batch."""
+    best = float("inf")
+    payloads = None
+    for _ in range(REPS):
+        jobs = [(table, IntraClusterTraffic(mapping), rate, cfg)
+                for rate in RATES]
+        t0 = time.perf_counter()
+        results = simulate_batch(jobs)
+        best = min(best, time.perf_counter() - t0)
+        payloads = [canonical_payload(r) for r in results]
+    return best, payloads
+
+
 def test_bench_engine(benchmark, setup16):
     records = [setup16.op_mapping()] + setup16.random_mappings(3)
     table = setup16.routing_table
 
-    totals = {"reference": 0.0, "fast": 0.0}
+    totals = {"reference": 0.0, "fast": 0.0, "batch": 0.0}
     per_mapping = {}
     mismatches = 0
 
@@ -66,6 +97,7 @@ def test_bench_engine(benchmark, setup16):
         nonlocal mismatches
         for rec in records:
             ref_s = fast_s = 0.0
+            fast_payloads = []
             for rate in RATES:
                 rs, rp = _time_point(
                     table, rec.mapping, rate,
@@ -75,23 +107,38 @@ def test_bench_engine(benchmark, setup16):
                     replace(ENGINE_BENCH_CONFIG, engine="fast"))
                 ref_s += rs
                 fast_s += fs
+                fast_payloads.append(fp)
                 if rp != fp:
                     mismatches += 1
+            bat_s, bat_payloads = _time_ladder_batched(
+                table, rec.mapping,
+                replace(ENGINE_BENCH_CONFIG, engine="batch"))
+            mismatches += sum(
+                bp != fp for bp, fp in zip(bat_payloads, fast_payloads))
             totals["reference"] += ref_s
             totals["fast"] += fast_s
+            totals["batch"] += bat_s
             per_mapping[rec.name] = {
                 "reference_seconds": round(ref_s, 4),
                 "fast_seconds": round(fast_s, 4),
+                "batch_seconds": round(bat_s, 4),
                 "speedup": round(ref_s / fast_s, 3),
+                "batch_speedup_vs_fast": round(fast_s / bat_s, 3),
             }
 
     run_once(benchmark, measure)
 
     assert mismatches == 0, f"{mismatches} points diverged between engines"
     speedup = totals["reference"] / totals["fast"]
-    # The kernel targets >= 5x on this workload; keep the hard floor loose
-    # enough that a loaded CI box doesn't flake.
+    batch_vs_fast = totals["fast"] / totals["batch"]
+    batch_vs_reference = totals["reference"] / totals["batch"]
+    # The fast kernel targets >= 5x on this workload; keep the hard floor
+    # loose enough that a loaded CI box doesn't flake.
     assert speedup >= 1.5
+    # Batch floors (see module docstring): must clearly beat the reference
+    # and must not regress materially against fast.
+    assert batch_vs_reference >= 1.5
+    assert batch_vs_fast >= 0.8
 
     payload = {
         "benchmark": "engine",
@@ -104,7 +151,15 @@ def test_bench_engine(benchmark, setup16):
         "measure_cycles": ENGINE_BENCH_CONFIG.measure_cycles,
         "reference_seconds": round(totals["reference"], 4),
         "fast_seconds": round(totals["fast"], 4),
+        "batch_seconds": round(totals["batch"], 4),
         "speedup": round(speedup, 3),
+        "batch_speedup_vs_fast": round(batch_vs_fast, 3),
+        "batch_speedup_vs_reference": round(batch_vs_reference, 3),
+        "batch_notes": (
+            "batch runs each mapping's 9-rate ladder as one simulate_batch "
+            "call; bit-identity fixes the scalar RNG/arbitration draw order, "
+            "so the win is event skipping, not vectorization"
+        ),
         "per_mapping": per_mapping,
         "bit_identical": True,
     }

@@ -52,12 +52,15 @@ class SimulationConfig:
         arbitration coin flips).
     engine:
         Which engine executes the model: ``"fast"`` (the struct-of-arrays
-        kernel with quiescence skipping, the default) or ``"reference"``
-        (the per-``Message`` model in
-        :mod:`repro.simulation.network`).  The engines are bit-identical —
-        same RNG draw order, same :class:`SimulationResult` payload for
-        every seed — so this is purely a performance knob; the parity
-        suite (``tests/simulation/test_engine_parity.py``) enforces it.
+        kernel with quiescence skipping, the default), ``"reference"``
+        (the per-``Message`` model in :mod:`repro.simulation.network`) or
+        ``"batch"`` (the many-replication lockstep kernel in
+        :mod:`repro.simulation.engine_batch`; solo runs get a batch of
+        one, and ``simulate_batch`` runs many seeds/rates at once).  The
+        engines are bit-identical — same RNG draw order, same
+        :class:`SimulationResult` payload for every seed — so this is
+        purely a performance knob; the three-way parity suite
+        (``tests/simulation/test_engine_parity.py``) enforces it.
     """
 
     message_length: int = 16
@@ -82,9 +85,10 @@ class SimulationConfig:
             raise ValueError(f"warmup_cycles must be >= 0, got {self.warmup_cycles}")
         check_positive(self.measure_cycles, "measure_cycles")
         check_positive(self.queue_capacity, "queue_capacity")
-        if self.engine not in ("reference", "fast"):
+        if self.engine not in ("reference", "fast", "batch"):
             raise ValueError(
-                f"engine must be 'reference' or 'fast', got {self.engine!r}"
+                f"engine must be 'reference', 'fast' or 'batch', "
+                f"got {self.engine!r}"
             )
 
 

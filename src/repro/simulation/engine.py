@@ -1,13 +1,19 @@
 """The shared wormhole-engine interface, perf instrumentation and factory.
 
-Two engines implement the same cycle-level semantics:
+Three engines implement the same cycle-level semantics:
 
 - ``"reference"`` — :class:`repro.simulation.network.WormholeNetworkSimulator`,
   the readable per-``Message`` model that defines the behaviour;
 - ``"fast"``      — :class:`repro.simulation.engine_fast.FastWormholeNetworkSimulator`,
   a struct-of-arrays kernel with quiescence skipping that is **bit-identical**
   to the reference: same RNG draw order, same
-  :class:`~repro.simulation.metrics.SimulationResult` payload for every seed.
+  :class:`~repro.simulation.metrics.SimulationResult` payload for every seed;
+- ``"batch"``     — :mod:`repro.simulation.engine_batch`, the many-replication
+  lockstep kernel: one flattened state arena with a leading replication
+  axis advances a whole batch of seeds/rates at once (bit-identical per
+  member).  ``make_simulator`` builds a batch-of-one view; callers with
+  several compatible replications pending should use
+  :func:`repro.simulation.engine_batch.simulate_batch`.
 
 :func:`make_simulator` dispatches on ``SimulationConfig.engine``; everything
 downstream (load sweeps, saturation probes, the figure drivers, the CLI)
@@ -33,7 +39,7 @@ from repro.simulation.metrics import SimulationResult
 from repro.simulation.traffic import TrafficPattern
 
 #: Engine names accepted by ``SimulationConfig.engine``.
-ENGINE_NAMES = ("reference", "fast")
+ENGINE_NAMES = ("reference", "fast", "batch")
 
 
 @dataclass
@@ -134,6 +140,11 @@ def make_simulator(routing_table, traffic: TrafficPattern,
 
         return FastWormholeNetworkSimulator(routing_table, traffic,
                                             injection_rate, config)
+    if config.engine == "batch":
+        from repro.simulation.engine_batch import build_batch_simulator
+
+        return build_batch_simulator(routing_table, traffic,
+                                     injection_rate, config)
     raise ValueError(
         f"unknown engine {config.engine!r}; expected one of {ENGINE_NAMES}"
     )

@@ -1,0 +1,1299 @@
+"""The vectorized many-seed batch engine.
+
+:func:`simulate_batch` runs a whole *batch* of replications (seeds ×
+injection rates × traffic patterns over one routing table) through a
+single lockstep kernel, and is **bit-identical** per member to the
+reference engine (:mod:`repro.simulation.network`): every member owns its
+own ``random.Random(config.seed)`` stream, consumed in exactly the
+reference order, so the per-seed :class:`SimulationResult` payloads match
+the reference and the fast engine for every seed (the three-way parity
+suite ``tests/simulation/test_engine_parity.py`` enforces this).
+
+Why a third engine — what batching buys that ``engine_fast`` cannot:
+
+- **Struct of arrays with a replication axis.**  All per-worm state
+  (chain rows, occupancy rows, head/destination switches, credits) lives
+  in flat arrays indexed by *global slot* ``gslot = rep * slots_per_rep
+  + slot`` — the 2-D ``[replication, slot]`` layout flattened — and all
+  per-host / per-channel / per-switch state is likewise flattened with a
+  leading replication axis.  One iteration of the main loop advances
+  *every* live replication one (busy) cycle; the loop machinery, local
+  hoisting and phase dispatch are paid once per iteration instead of
+  once per replication per cycle.
+
+- **Replication-level event skipping.**  ``engine_fast`` executes every
+  cycle while any worm is in flight, even when every worm is dormant.
+  Dormant worms are frozen until one of three *scheduled* events: a
+  message arrival (the arrival heap), a sealed-drain channel release
+  (the release-event calendar) or a sealed-worm completion (the
+  completion heap).  When a replication has zero awake worms and no
+  ready injection, the kernel jumps its clock straight to the earliest
+  of those deadlines — sound because nothing else can change state, and
+  provably identical to executing the intervening no-op cycles.  At low
+  and mid loads this removes the majority of executed cycles.
+
+- **An active-mask over replications.**  Members finish independently
+  (heterogeneous warmup/measure windows are allowed); finished members
+  retire from the iteration set and stop costing anything.
+
+- **Shared immutable tables.**  The channel layout, the routing
+  candidate cache and the per-``(switch, phase, destination)`` free-list
+  construction are shared across the whole batch instead of rebuilt per
+  replication.
+
+The RNG-coupled phases (arrival draws, arbitration draws, conflict
+shuffles) are inherently scalar — bit-identity pins them to each
+member's own Mersenne stream in reference order — so they run per
+member, per cycle, exactly as the fast engine runs them.  Dormancy,
+sealed drains and arrival parking are inherited from
+:mod:`repro.simulation.engine_fast` unchanged (see that module's
+docstring for the semantics argument); this kernel is the
+``virtual_channels == 1`` path only.  Configurations with
+``virtual_channels > 1`` fall back to the budgeted struct-of-arrays
+kernel per member (still bit-identical, no lockstep win).
+
+Batch compatibility rules (checked by :func:`simulate_batch`):
+
+- all members must share one :class:`~repro.routing.tables.RoutingTable`
+  object (same topology, same routing) — batching across topologies is
+  a planning concern, not an engine concern;
+- all members must agree on ``virtual_channels``;
+- everything else may vary per member: seed, injection rate, traffic
+  pattern, message length, buffer depth, queue capacity, warmup/measure
+  windows, adaptivity, delivery channels, trace recording.
+
+Construct a single-member view via
+:func:`repro.simulation.engine.make_simulator` with
+``SimulationConfig(engine="batch")``; callers holding ≥ 2 compatible
+pending replications should prefer :func:`simulate_batch`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import trace as _trace
+from repro.routing.base import Phase
+from repro.routing.tables import RoutingTable
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import EnginePerf, record_engine_metrics
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.traffic import (IntraClusterTraffic, TrafficPattern,
+                                      UniformTraffic)
+from repro.util.stats import ReservoirSampler, RunningStats
+
+_INF = float("inf")
+
+
+class BatchCompatibilityError(ValueError):
+    """Raised when a set of replications cannot share one batch kernel."""
+
+
+def check_batch_compatible(jobs: Sequence[Tuple[RoutingTable, TrafficPattern,
+                                                float, SimulationConfig]]) -> None:
+    """Validate that ``jobs`` may run as one batch; raise a clear error.
+
+    ``jobs`` are ``(table, traffic, rate, config)`` tuples.  The rules are
+    the module-level compatibility rules: one shared routing-table object
+    and one ``virtual_channels`` value.
+    """
+    if not jobs:
+        raise BatchCompatibilityError("simulate_batch needs at least one job")
+    table0 = jobs[0][0]
+    vcs0 = jobs[0][3].virtual_channels
+    for i, (table, _traffic, _rate, cfg) in enumerate(jobs):
+        if table is not table0:
+            raise BatchCompatibilityError(
+                f"job {i} uses a different routing table/topology than job 0 "
+                f"({table.topology.name!r} vs {table0.topology.name!r}); "
+                "batched replications must share one RoutingTable object — "
+                "split the batch by topology first"
+            )
+        if cfg.virtual_channels != vcs0:
+            raise BatchCompatibilityError(
+                f"job {i} has virtual_channels={cfg.virtual_channels} but "
+                f"job 0 has {vcs0}; a batch must agree on virtual_channels"
+            )
+
+
+class _BatchCore:
+    """Flattened multi-replication state + the lockstep kernel.
+
+    All members share one routing table and ``virtual_channels == 1``.
+    State arrays are the fast engine's struct-of-arrays layout with the
+    replication axis flattened in front (``gslot = rep * S + slot``,
+    ``gchan = rep * C + cid`` and so on).
+    """
+
+    def __init__(self, table: RoutingTable,
+                 members: Sequence[Tuple[TrafficPattern, float,
+                                         SimulationConfig]]):
+        self.table = table
+        self.topology = topo = table.topology
+        R = len(members)
+        self.R = R
+
+        # --- shared channel layout (identical cids to the reference) ----
+        self.chan_of: Dict[Tuple[int, int], List[int]] = {}
+        n_chan = 0
+        for u, v in topo.links:
+            for a, b in ((u, v), (v, u)):
+                self.chan_of[(a, b)] = [n_chan]
+                n_chan += 1
+        self.inj_base = n_chan
+        self._host_switch = [topo.host_switch(h)
+                             for h in range(topo.num_hosts)]
+        self.C = C = n_chan + topo.num_hosts
+        self.S = S = C + 1            # worm slots per replication
+        self.W = W = topo.num_switches + 4
+        self.NH = NH = topo.num_hosts
+        self.NSW = NSW = topo.num_switches
+        self._initial_phase = table.routing.initial_phase()
+        # Candidate caches shared across the batch, one per routing mode.
+        self._cand_cache: Dict[bool, Dict[Tuple[int, Phase, int],
+                                          Tuple[Tuple[int, int, Phase],
+                                                ...]]] = \
+            {True: {}, False: {}}
+
+        # --- flattened per-replication state ----------------------------
+        self.owner = [-1] * (R * C)           # gchan -> owning gslot
+        self.chain = [0] * (R * S * W)
+        self.occ = [0] * (R * S * W)
+        self.tcol = [0] * (R * S)             # absolute index into chain/occ
+        self.clen = [0] * (R * S)
+        self.to_inject = [0] * (R * S)
+        self.consumed = [0] * (R * S)
+        self.head_sw = [0] * (R * S)
+        self.dst_sw = [0] * (R * S)
+        self.phase: List[Phase] = [Phase.UP] * (R * S)
+        self.draining = [False] * (R * S)
+        self.injected_at = [0] * (R * S)
+        self.generated_at = [0] * (R * S)
+        self.awake = [False] * (R * S)
+        self.epoch = [0] * (R * S)
+        self.arb_blocked = [0] * (R * S)
+        self.sealed = [False] * (R * S)
+        self.slot_cands: List[Tuple[Tuple[int, int, Phase], ...]] = \
+            [()] * (R * S)
+        self.avail_delivery = [0] * (R * NSW)
+        self.queue_list: List[Optional[deque]] = [None] * (R * NH)
+        self.parked = [False] * (R * NH)
+        self.gap_denom = [0.0] * (R * NH)
+        self.chan_watch: List[List[Tuple[int, int]]] = \
+            [[] for _ in range(R * C)]
+        self.deliv_watch: List[List[Tuple[int, int]]] = \
+            [[] for _ in range(R * NSW)]
+
+        # --- per-replication containers and scalars ---------------------
+        self.rngs: List[random.Random] = []
+        self.traffics: List[TrafficPattern] = []
+        self.configs: List[SimulationConfig] = []
+        self.rates: List[float] = []
+        self.host_rate: List[Dict[int, float]] = []
+        self.arrivals: List[List[Tuple[int, int]]] = []   # per-rep heaps
+        self.orders: List[List[int]] = []                 # gslots
+        # Awake worms per rep, slot -> injection sequence number.  The
+        # reference arbitration order is active-list (injection) order
+        # filtered by completions, so sorting the awake set by a sequence
+        # number stamped at injection reproduces it exactly — no per-cycle
+        # scan of the full active list.
+        self.awake_ds: List[Dict[int, int]] = []
+        self.seq_arr = [0] * (R * S)          # gslot -> injection seq
+        self.seq_ctr = [0] * R
+        self.host_pos_d: List[Dict[int, int]] = []
+        # Per-host destination-draw specialization (None -> dest_for call).
+        self._dest_tab: List[Optional[List[Optional[List[int]]]]] = []
+        self._uni_nh = [0] * R
+        self.free_slots: List[List[int]] = []             # gslots
+        self.events: List[Dict[int, List[int]]] = []      # cycle -> [cid]
+        self.rel_heaps: List[List[int]] = []              # event cycles
+        self.comp_dues: List[List[Tuple[int, int]]] = []  # (cycle, gslot)
+        self.final_cids: List[Dict[int, List[int]]] = []  # gslot -> [cid]
+        self.traces: List[List[Tuple[int, int, int, int]]] = []
+        self.lat_stats: List[RunningStats] = []
+        self.tot_stats: List[RunningStats] = []
+        self.samplers: List[ReservoirSampler] = []
+        self.perfs: List[EnginePerf] = []
+
+        self.cycle_l = [0] * R
+        self.total_l = [0] * R
+        self.queued_total = [0] * R
+        self.next_mid = [0] * R
+        self.generated = [0] * R
+        self.consumed_measured = [0] * R
+        self.completed_in_window = [0] * R
+        self.inj_readys: List[set] = [set() for _ in range(R)]
+        # Config flats hoisted for the hot loop.
+        self.length_l = [0] * R
+        self.cap_l = [0] * R
+        self.qcap_l = [0] * R
+        self.record_l = [False] * R
+        self.w0_l = [0] * R
+        self.w1_l = [0] * R
+        self.adaptive_l = [True] * R
+        self.executed_l = [0] * R
+        self.skipped_l = [0] * R
+        self.arb_req_l = [0] * R
+        self.arb_conf_l = [0] * R
+        self.deliv_conf_l = [0] * R
+
+        for r, (traffic, rate, cfg) in enumerate(members):
+            if rate < 0:
+                raise ValueError(f"injection_rate must be >= 0, got {rate}")
+            rng = random.Random(cfg.seed)
+            self.rngs.append(rng)
+            self.traffics.append(traffic)
+            self.configs.append(cfg)
+            self.rates.append(rate)
+            self.length_l[r] = cfg.message_length
+            self.cap_l[r] = cfg.buffer_flits
+            self.qcap_l[r] = cfg.queue_capacity
+            self.record_l[r] = cfg.record_trace
+            self.w0_l[r] = cfg.warmup_cycles
+            self.w1_l[r] = cfg.warmup_cycles + cfg.measure_cycles
+            self.total_l[r] = self.w1_l[r]
+            self.adaptive_l[r] = cfg.adaptive
+
+            dc = (cfg.delivery_channels if cfg.delivery_channels is not None
+                  else max(1, topo.hosts_per_switch))
+            sw_off = r * NSW
+            for sw in range(NSW):
+                self.avail_delivery[sw_off + sw] = dc
+
+            # Arrival process: same construction-time draw order as the
+            # reference engine (one gap draw per active host, host order).
+            rates_r: Dict[int, float] = {}
+            heap: List[Tuple[int, int]] = []
+            q_off = r * NH
+            hp: Dict[int, int] = {}
+            for pos, h in enumerate(traffic.active_hosts()):
+                hp[h] = pos
+                hr = rate * traffic.rate_scale(h)
+                if hr > 1.0:
+                    raise ValueError(
+                        f"host {h} injection rate {hr} exceeds 1 message/cycle"
+                    )
+                self.queue_list[q_off + h] = deque()
+                rates_r[h] = hr
+                if hr > 0:
+                    if hr < 1.0:
+                        self.gap_denom[q_off + h] = math.log1p(-hr)
+                        u = rng.random()
+                        gap = max(1, math.ceil(
+                            math.log(max(u, 1e-300)) / math.log1p(-hr)))
+                    else:
+                        rng.random()
+                        gap = 1
+                    heapq.heappush(heap, (gap, h))
+            self.host_rate.append(rates_r)
+            self.arrivals.append(heap)
+            self.host_pos_d.append(hp)
+            # Destination-draw fast paths: same draws as dest_for, with
+            # the dynamic dispatch resolved once.  Anything with extra
+            # pre-draw logic (hotspots, intercluster mixing, custom
+            # patterns) keeps the virtual call.
+            dest_tab: Optional[List[Optional[List[int]]]] = None
+            if type(traffic) is IntraClusterTraffic and \
+                    traffic.intercluster_fraction == 0.0:
+                dest_tab = [None] * NH
+                for h2, c2 in traffic.cluster_of.items():
+                    dest_tab[h2] = traffic.hosts_by_cluster[c2]
+            self._dest_tab.append(dest_tab)
+            if type(traffic) is UniformTraffic:
+                self._uni_nh[r] = traffic.topology.num_hosts
+
+            g_off = r * S
+            self.free_slots.append(
+                list(range(g_off + S - 1, g_off - 1, -1)))
+            self.orders.append([])
+            self.awake_ds.append({})
+            self.events.append({})
+            self.rel_heaps.append([])
+            self.comp_dues.append([])
+            self.final_cids.append({})
+            self.traces.append([])
+            self.lat_stats.append(RunningStats())
+            self.tot_stats.append(RunningStats())
+            self.samplers.append(ReservoirSampler(seed=cfg.seed))
+            self.perfs.append(EnginePerf())
+
+    # ------------------------------------------------------------------ #
+    # routing candidates (shared across the batch)
+    # ------------------------------------------------------------------ #
+
+    def _candidates(self, adaptive: bool, head_sw: int, phase: Phase,
+                    dst_sw: int) -> Tuple[Tuple[int, int, Phase], ...]:
+        cache = self._cand_cache[adaptive]
+        key = (head_sw, phase, dst_sw)
+        cands = cache.get(key)
+        if cands is None:
+            hops = self.table.hops(head_sw, phase, dst_sw)
+            if not hops:
+                raise RuntimeError(
+                    f"no legal continuation toward switch {dst_sw} at "
+                    f"({head_sw}, {phase.name})"
+                )
+            if not adaptive:
+                hops = hops[:1]
+            cands = tuple(
+                (self.chan_of[(head_sw, w)][0], w, ph) for w, ph in hops
+            )
+            cache[key] = cands
+        return cands
+
+    # ------------------------------------------------------------------ #
+    # the lockstep kernel
+    # ------------------------------------------------------------------ #
+
+    def advance(self, reps: Sequence[int], *, allow_skip: bool,
+                max_iterations: Optional[int] = None) -> None:
+        """Advance every replication in ``reps`` to its target cycle.
+
+        Each loop iteration runs one *busy* cycle for every still-live
+        replication (phase by phase, so regular work stays batched), then
+        jumps each replication's clock to its next event deadline when
+        nothing is awake.  With ``allow_skip=False`` clocks advance one
+        cycle per iteration (the ``step()`` contract: never skip).
+        ``max_iterations`` bounds the loop for single-step execution.
+        """
+        # ---- hoisted flats (shared by every iteration) ------------------
+        perf_counter = time.perf_counter
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        ceil = math.ceil
+        log = math.log
+
+        owner = self.owner
+        chain = self.chain
+        occ = self.occ
+        tcol = self.tcol
+        clen = self.clen
+        to_inject = self.to_inject
+        consumed = self.consumed
+        head_sw = self.head_sw
+        dst_sw = self.dst_sw
+        phase = self.phase
+        draining = self.draining
+        injected_at = self.injected_at
+        generated_at = self.generated_at
+        awake = self.awake
+        epoch = self.epoch
+        arb_blocked = self.arb_blocked
+        sealed = self.sealed
+        slot_cands = self.slot_cands
+        avail_delivery = self.avail_delivery
+        queue_list = self.queue_list
+        parked = self.parked
+        gap_denom = self.gap_denom
+        chan_watch = self.chan_watch
+        deliv_watch = self.deliv_watch
+        host_switch = self._host_switch
+        cand_caches = self._cand_cache
+
+        rngs = self.rngs
+        traffics = self.traffics
+        arrivals_l = self.arrivals
+        orders = self.orders
+        awake_ds = self.awake_ds
+        seq_arr = self.seq_arr
+        seq_ctr = self.seq_ctr
+        host_pos_ds = self.host_pos_d
+        dest_tabs = self._dest_tab
+        uni_nh_l = self._uni_nh
+        free_slots_l = self.free_slots
+        events_l = self.events
+        rel_heaps = self.rel_heaps
+        comp_dues = self.comp_dues
+        final_cids_l = self.final_cids
+        traces = self.traces
+        inj_readys = self.inj_readys
+
+        cycle_l = self.cycle_l
+        total_l = self.total_l
+        queued_total = self.queued_total
+        next_mid_l = self.next_mid
+        generated_l = self.generated
+        consumed_measured = self.consumed_measured
+        length_l = self.length_l
+        cap_l = self.cap_l
+        qcap_l = self.qcap_l
+        record_l = self.record_l
+        w0_l = self.w0_l
+        w1_l = self.w1_l
+        adaptive_l = self.adaptive_l
+        executed_l = self.executed_l
+        skipped_l = self.skipped_l
+        arb_req_l = self.arb_req_l
+        arb_conf_l = self.arb_conf_l
+        deliv_conf_l = self.deliv_conf_l
+
+        C = self.C
+        S = self.S
+        W = self.W
+        NH = self.NH
+        NSW = self.NSW
+        inj_base = self.inj_base
+
+        live_reps = [r for r in reps if cycle_l[r] < total_l[r]]
+        awake_lists: Dict[int, List[int]] = {}
+        t_arr = t_inj = t_arb = t_mov = 0.0
+        iterations = 0
+
+        while live_reps:
+            iterations += 1
+            t0 = perf_counter()
+
+            # ---- phase 1: sealed releases due + arrivals ----------------
+            for r in live_reps:
+                cycle = cycle_l[r]
+                q_off = r * NH
+                o_off = r * C
+
+                events = events_l[r]
+                if events:
+                    rel = events.pop(cycle, None)
+                    if rel is not None:
+                        ad = awake_ds[r]
+                        for cid in rel:
+                            gc = o_off + cid
+                            owner[gc] = -1
+                            wl = chan_watch[gc]
+                            if wl:
+                                for s2, e2 in wl:
+                                    if epoch[s2] == e2:
+                                        awake[s2] = True
+                                        epoch[s2] = e2 + 1
+                                        ad[s2] = seq_arr[s2]
+                                wl.clear()
+                            if cid >= inj_base and \
+                                    queue_list[q_off + cid - inj_base]:
+                                inj_readys[r].add(cid - inj_base)
+
+                arrivals = arrivals_l[r]
+                if arrivals and arrivals[0][0] <= cycle:
+                    rng = rngs[r]
+                    rng_random = rng.random
+                    rng_randbelow = rng._randbelow
+                    dest_tab = dest_tabs[r]
+                    uni_nh = uni_nh_l[r]
+                    dest_for = traffics[r].dest_for
+                    qcap = qcap_l[r]
+                    length = length_l[r]
+                    record = record_l[r]
+                    trace = traces[r]
+                    inj_ready = inj_readys[r]
+                    qt = queued_total[r]
+                    nm = next_mid_l[r]
+                    gen = generated_l[r]
+                    while arrivals and arrivals[0][0] <= cycle:
+                        h = heappop(arrivals)[1]
+                        q = queue_list[q_off + h]
+                        if len(q) >= qcap:
+                            parked[q_off + h] = True
+                            continue
+                        # Same draws as dest_for, dispatch pre-resolved.
+                        if dest_tab is not None:
+                            lst = dest_tab[h]
+                            while True:
+                                dst = lst[rng_randbelow(len(lst))]
+                                if dst != h:
+                                    break
+                        elif uni_nh:
+                            dst = rng_randbelow(uni_nh - 1)
+                            if dst >= h:
+                                dst += 1
+                        else:
+                            dst = dest_for(h, rng)
+                        nm += 1
+                        gen += 1
+                        if record:
+                            trace.append((cycle, h, dst, length))
+                        q.append((nm - 1, dst, cycle))
+                        qt += 1
+                        if owner[o_off + inj_base + h] < 0:
+                            inj_ready.add(h)
+                        u = rng_random()
+                        d = gap_denom[q_off + h]
+                        if d:
+                            gap = ceil(log(u if u > 1e-300 else 1e-300) / d)
+                            if gap < 1:
+                                gap = 1
+                        else:
+                            gap = 1
+                        heappush(arrivals, (cycle + gap, h))
+                    queued_total[r] = qt
+                    next_mid_l[r] = nm
+                    generated_l[r] = gen
+
+            t1 = perf_counter()
+
+            # ---- phase 2: injections ------------------------------------
+            for r in live_reps:
+                inj_ready = inj_readys[r]
+                if not inj_ready:
+                    continue
+                cycle = cycle_l[r]
+                q_off = r * NH
+                o_off = r * C
+                order = orders[r]
+                ad = awake_ds[r]
+                sc = seq_ctr[r]
+                free_slots = free_slots_l[r]
+                arrivals = arrivals_l[r]
+                length = length_l[r]
+                adaptive = adaptive_l[r]
+                cand_cache = cand_caches[adaptive]
+                initial_phase = self._initial_phase
+                if len(inj_ready) == 1:
+                    ready = inj_ready
+                else:
+                    ready = sorted(inj_ready,
+                                   key=host_pos_ds[r].__getitem__)
+                for h in ready:
+                    q = queue_list[q_off + h]
+                    cid = inj_base + h
+                    mid, dst, gen_at = q.popleft()
+                    queued_total[r] -= 1
+                    if parked[q_off + h]:
+                        parked[q_off + h] = False
+                        heappush(arrivals, (cycle + 1, h))
+                    slot = free_slots.pop()
+                    base = slot * W
+                    chain[base] = cid
+                    occ[base] = 0
+                    tcol[slot] = base
+                    clen[slot] = 1
+                    to_inject[slot] = length
+                    consumed[slot] = 0
+                    hs_i = host_switch[h]
+                    ds_i = host_switch[dst]
+                    head_sw[slot] = hs_i
+                    dst_sw[slot] = ds_i
+                    phase[slot] = initial_phase
+                    if hs_i != ds_i:
+                        nc = cand_cache.get((hs_i, initial_phase, ds_i))
+                        slot_cands[slot] = (
+                            nc if nc is not None
+                            else self._candidates(adaptive, hs_i,
+                                                  initial_phase, ds_i))
+                    draining[slot] = False
+                    injected_at[slot] = cycle
+                    generated_at[slot] = gen_at
+                    awake[slot] = True
+                    arb_blocked[slot] = 0
+                    owner[o_off + cid] = slot
+                    order.append(slot)
+                    sc += 1
+                    seq_arr[slot] = sc
+                    ad[slot] = sc
+                seq_ctr[r] = sc
+                inj_ready.clear()
+
+            t2 = perf_counter()
+
+            # ---- phase 3: arbitration -----------------------------------
+            awake_lists.clear()
+            for r in live_reps:
+                ad = awake_ds[r]
+                if not ad:
+                    continue
+                # The reference scan order: injection sequence, completed
+                # worms absent — exactly how the awake dict is keyed.
+                awake_list = (sorted(ad, key=ad.__getitem__)
+                              if len(ad) > 1 else list(ad))
+                awake_lists[r] = awake_list
+                o_off = r * C
+                sw_off = r * NSW
+                rng = rngs[r]
+                # randrange(n) is exactly _randbelow(n) for a positive int
+                # stop; binding the internal avoids argument validation on
+                # the hottest draw sites while consuming identical bits.
+                rng_randbelow = rng._randbelow
+                adaptive = adaptive_l[r]
+                cand_cache = cand_caches[adaptive]
+                requests: Dict[int, List[Tuple[int, int, Phase]]] = {}
+                delivery_requests: Dict[int, List[int]] = {}
+
+                for slot in awake_list:
+                    c = clen[slot]
+                    if draining[slot] or c == 0 or occ[tcol[slot] + c - 1] == 0:
+                        continue
+                    hs = head_sw[slot]
+                    ds = dst_sw[slot]
+                    arb_blocked[slot] = 0
+                    if hs == ds:
+                        dr = delivery_requests.get(hs)
+                        if dr is None:
+                            delivery_requests[hs] = [slot]
+                        else:
+                            dr.append(slot)
+                        continue
+                    cands = slot_cands[slot]
+                    if len(cands) == 1:
+                        cand = cands[0]
+                        if owner[o_off + cand[0]] >= 0:
+                            arb_blocked[slot] = 1
+                            continue
+                        cid, w, ph = cand
+                    else:
+                        free = [cand for cand in cands
+                                if owner[o_off + cand[0]] < 0]
+                        if not free:
+                            arb_blocked[slot] = 1
+                            continue
+                        cid, w, ph = (free[rng_randbelow(len(free))]
+                                      if len(free) > 1 else free[0])
+                    rq = requests.get(cid)
+                    if rq is None:
+                        requests[cid] = [(slot, w, ph)]
+                    else:
+                        rq.append((slot, w, ph))
+
+                for cid, reqs in requests.items():
+                    arb_req_l[r] += 1
+                    if len(reqs) > 1:
+                        arb_conf_l[r] += 1
+                        slot, w, ph = reqs[rng_randbelow(len(reqs))]
+                    else:
+                        slot, w, ph = reqs[0]
+                    owner[o_off + cid] = slot
+                    j = tcol[slot] + clen[slot]
+                    if j >= (slot + 1) * W:  # pragma: no cover - guard
+                        raise AssertionError(
+                            f"chain row overflow for slot {slot}"
+                        )
+                    chain[j] = cid
+                    occ[j] = 0
+                    clen[slot] += 1
+                    head_sw[slot] = w
+                    phase[slot] = ph
+                    ds = dst_sw[slot]
+                    if w != ds:
+                        key = (w, ph, ds)
+                        nc = cand_cache.get(key)
+                        slot_cands[slot] = (
+                            nc if nc is not None
+                            else self._candidates(adaptive, w, ph, ds))
+
+                for sw, reqs in delivery_requests.items():
+                    avail = avail_delivery[sw_off + sw]
+                    if avail <= 0:
+                        for slot in reqs:
+                            arb_blocked[slot] = 2
+                        continue
+                    if len(reqs) > avail:
+                        deliv_conf_l[r] += 1
+                        rng.shuffle(reqs)
+                        reqs = reqs[:avail]
+                    for slot in reqs:
+                        draining[slot] = True
+                        avail_delivery[sw_off + sw] -= 1
+
+            t3 = perf_counter()
+
+            # ---- phase 4: movement, seals, completions ------------------
+            for r in live_reps:
+                cycle = cycle_l[r]
+                awake_list = awake_lists.get(r)
+                comp_due = comp_dues[r]
+                comp_ready = comp_due and comp_due[0][0] <= cycle
+                if awake_list is None and not comp_ready:
+                    continue
+                q_off = r * NH
+                o_off = r * C
+                sw_off = r * NSW
+                order = orders[r]
+                ad = awake_ds[r]
+                events = events_l[r]
+                rel_heap = rel_heaps[r]
+                final_cids = final_cids_l[r]
+                inj_ready = inj_readys[r]
+                w0 = w0_l[r]
+                w1 = w1_l[r]
+                cap = cap_l[r]
+
+                for slot in awake_list or ():
+                    if draining[slot]:
+                        # Delivery granted this cycle: seal the worm — the
+                        # remainder of its life is deterministic.  Common
+                        # case inline: a bubble-free pipe has a closed-form
+                        # schedule (see _seal for the derivation and the
+                        # bubbled fallback).
+                        t = tcol[slot]
+                        c = clen[slot]
+                        row = occ[t:t + c]
+                        if 0 in row:
+                            self._seal(r, slot, cycle)
+                            continue
+                        s_acc = to_inject[slot]
+                        comp_c = cycle + s_acc + sum(row) - 1
+                        lo = cycle if cycle > w0 else w0
+                        hi = comp_c if comp_c < w1 - 1 else w1 - 1
+                        if hi >= lo:
+                            consumed_measured[r] += hi - lo + 1
+                        fin: List[int] = []
+                        for j in range(c):
+                            s_acc += row[j]
+                            rel_c = cycle + s_acc - 1
+                            if rel_c < comp_c:
+                                el = events.get(rel_c + 1)
+                                if el is None:
+                                    events[rel_c + 1] = [chain[t + j]]
+                                    heappush(rel_heap, rel_c + 1)
+                                else:
+                                    el.append(chain[t + j])
+                            else:
+                                fin.append(chain[t + j])
+                        final_cids[slot] = fin
+                        heappush(comp_due, (comp_c, slot))
+                        sealed[slot] = True
+                        awake[slot] = False
+                        epoch[slot] += 1
+                        del ad[slot]
+                        continue
+                    t = tcol[slot]
+                    c = clen[slot]
+                    moved = False
+
+                    if c > 1:
+                        for i in range(t + c - 1, t, -1):
+                            if occ[i - 1] > 0 and occ[i] < cap:
+                                occ[i - 1] -= 1
+                                occ[i] += 1
+                                moved = True
+
+                    ti = to_inject[slot]
+                    if ti > 0 and occ[t] < cap:
+                        occ[t] += 1
+                        ti -= 1
+                        to_inject[slot] = ti
+                        moved = True
+
+                    while c and ti == 0 and occ[t] == 0:
+                        cid = chain[t]
+                        gc = o_off + cid
+                        owner[gc] = -1
+                        wl = chan_watch[gc]
+                        if wl:
+                            for s2, e2 in wl:
+                                if epoch[s2] == e2:
+                                    awake[s2] = True
+                                    epoch[s2] = e2 + 1
+                                    ad[s2] = seq_arr[s2]
+                            wl.clear()
+                        if cid >= inj_base and \
+                                queue_list[q_off + cid - inj_base]:
+                            inj_ready.add(cid - inj_base)
+                        t += 1
+                        c -= 1
+                        moved = True
+                    tcol[slot] = t
+                    clen[slot] = c
+
+                    if moved:
+                        continue
+                    ab = arb_blocked[slot]
+                    if ab == 2:
+                        ds2 = dst_sw[slot]
+                        if avail_delivery[sw_off + ds2] == 0:
+                            awake[slot] = False
+                            del ad[slot]
+                            deliv_watch[sw_off + ds2].append(
+                                (slot, epoch[slot]))
+                    elif ab:
+                        cands = slot_cands[slot]
+                        for cand in cands:
+                            if owner[o_off + cand[0]] < 0:
+                                break
+                        else:
+                            awake[slot] = False
+                            del ad[slot]
+                            e2 = epoch[slot]
+                            for cand in cands:
+                                chan_watch[o_off + cand[0]].append((slot, e2))
+
+                # Sealed-worm completions due this cycle.
+                if comp_due and comp_due[0][0] <= cycle:
+                    n_active = len(order)
+                    start = cycle % n_active if n_active else 0
+                    completions: List[Tuple[int, int, int]] = []
+                    while comp_due and comp_due[0][0] <= cycle:
+                        slot = heappop(comp_due)[1]
+                        for cid in final_cids.pop(slot):
+                            gc = o_off + cid
+                            owner[gc] = -1
+                            wl = chan_watch[gc]
+                            if wl:
+                                for s2, e2 in wl:
+                                    if epoch[s2] == e2:
+                                        awake[s2] = True
+                                        epoch[s2] = e2 + 1
+                                        ad[s2] = seq_arr[s2]
+                                wl.clear()
+                            if cid >= inj_base and \
+                                    queue_list[q_off + cid - inj_base]:
+                                inj_ready.add(cid - inj_base)
+                        ds = dst_sw[slot]
+                        avail_delivery[sw_off + ds] += 1
+                        wl = deliv_watch[sw_off + ds]
+                        if wl:
+                            for s2, e2 in wl:
+                                if epoch[s2] == e2:
+                                    awake[s2] = True
+                                    epoch[s2] = e2 + 1
+                                    ad[s2] = seq_arr[s2]
+                            wl.clear()
+                        idx = order.index(slot)
+                        completions.append(((idx - start) % n_active,
+                                            slot, idx))
+                    self._finish_completions(r, completions,
+                                             w0 <= cycle < w1, cycle)
+
+            t4 = perf_counter()
+            t_arr += t1 - t0
+            t_inj += t2 - t1
+            t_arb += t3 - t2
+            t_mov += t4 - t3
+
+            # ---- clock advance / event skip / active-mask ---------------
+            retired = False
+            for i, r in enumerate(live_reps):
+                cycle = cycle_l[r]
+                executed_l[r] += 1
+                target = total_l[r]
+                if allow_skip and not awake_ds[r] and not inj_readys[r]:
+                    arrivals = arrivals_l[r]
+                    nxt = arrivals[0][0] if arrivals else _INF
+                    rel_heap = rel_heaps[r]
+                    while rel_heap and rel_heap[0] <= cycle:
+                        heappop(rel_heap)
+                    if rel_heap and rel_heap[0] < nxt:
+                        nxt = rel_heap[0]
+                    comp_due = comp_dues[r]
+                    if comp_due and comp_due[0][0] < nxt:
+                        nxt = comp_due[0][0]
+                    if nxt > target:
+                        nxt = target
+                    if nxt > cycle + 1:
+                        skipped_l[r] += nxt - cycle - 1
+                        cycle_l[r] = nxt
+                    else:
+                        cycle_l[r] = cycle + 1
+                else:
+                    cycle_l[r] = cycle + 1
+                if cycle_l[r] >= target:
+                    live_reps[i] = -1
+                    retired = True
+            if retired:
+                live_reps = [r for r in live_reps if r >= 0]
+            if max_iterations is not None and iterations >= max_iterations:
+                break
+
+        # Coarse wall-time attribution: the batch-level phase totals,
+        # apportioned by executed cycles (wall times are excluded from
+        # result equality; this keeps `repro report` breakdowns summing
+        # to the true batch cost).  Deterministic counters are exact.
+        exec_total = sum(executed_l[r] for r in reps) or 1
+        for r in reps:
+            share = executed_l[r] / exec_total
+            perf = self.perfs[r]
+            perf.arrivals_seconds += t_arr * share
+            perf.injection_seconds += t_inj * share
+            perf.arbitration_seconds += t_arb * share
+            perf.flit_move_seconds += t_mov * share
+
+    # ------------------------------------------------------------------ #
+    # sealing and completion bookkeeping (ports of the fast engine's)
+    # ------------------------------------------------------------------ #
+
+    def _seal(self, r: int, slot: int, cycle: int) -> None:
+        """Replay a draining worm's deterministic remainder (bubbled path).
+
+        Identical semantics to ``engine_fast._seal``; see that docstring.
+        Operates on the flattened arrays; ``slot`` is a global slot.
+        """
+        t = self.tcol[slot]
+        c = self.clen[slot]
+        chain = self.chain
+        locc = self.occ[t:t + c]
+        ti = self.to_inject[slot]
+        cons = self.consumed[slot]
+        cap = self.cap_l[r]
+        length = self.length_l[r]
+        w0 = self.w0_l[r]
+        w1 = self.w1_l[r]
+        events = self.events[r]
+        rel_heap = self.rel_heaps[r]
+
+        meas = 0
+        releases: List[Tuple[int, int]] = []
+        tl = 0
+        hl = c - 1
+        k = cycle
+        limit = cycle + (c + 2) * length + 8
+        while True:
+            if locc[hl] > 0:
+                locc[hl] -= 1
+                cons += 1
+                if w0 <= k < w1:
+                    meas += 1
+            for i in range(hl, tl, -1):
+                if locc[i - 1] > 0 and locc[i] < cap:
+                    locc[i - 1] -= 1
+                    locc[i] += 1
+            if ti > 0 and locc[tl] < cap:
+                locc[tl] += 1
+                ti -= 1
+            while tl <= hl and ti == 0 and locc[tl] == 0:
+                releases.append((k, chain[t + tl]))
+                tl += 1
+            if cons >= length:
+                break
+            k += 1
+            if k > limit:  # pragma: no cover - progress guard
+                raise AssertionError(f"sealed worm {slot} failed to drain")
+        if tl != hl + 1:  # pragma: no cover - invariant guard
+            raise AssertionError(
+                f"sealed worm {slot} completed still holding channels"
+            )
+        self.consumed_measured[r] += meas
+        final: List[int] = []
+        for rel_c, cid in releases:
+            if rel_c < k:
+                el = events.get(rel_c + 1)
+                if el is None:
+                    events[rel_c + 1] = [cid]
+                    heapq.heappush(rel_heap, rel_c + 1)
+                else:
+                    el.append(cid)
+            else:
+                final.append(cid)
+        self.final_cids[r][slot] = final
+        heapq.heappush(self.comp_dues[r], (k, slot))
+        self.sealed[slot] = True
+        self.awake[slot] = False
+        self.epoch[slot] += 1
+        del self.awake_ds[r][slot]
+
+    def _finish_completions(self, r: int,
+                            completions: List[Tuple[int, int, int]],
+                            measuring: bool, cycle: int) -> None:
+        """Record stats in reference rotation order, recycle slots."""
+        completions.sort()
+        if measuring:
+            ls = self.lat_stats[r]
+            ts = self.tot_stats[r]
+            res = self.samplers[r]
+            sample = res._sample
+            rcap = res.capacity
+            res_rand = res._rng.randrange
+            injected_at = self.injected_at
+            generated_at = self.generated_at
+            self.completed_in_window[r] += len(completions)
+            for _, slot, _ in completions:
+                lat = cycle - injected_at[slot]
+                n = ls.count + 1
+                ls.count = n
+                delta = lat - ls._mean
+                m = ls._mean + delta / n
+                ls._mean = m
+                ls._m2 += delta * (lat - m)
+                if lat < ls._min:
+                    ls._min = lat
+                if lat > ls._max:
+                    ls._max = lat
+                tot = cycle - generated_at[slot]
+                n = ts.count + 1
+                ts.count = n
+                delta = tot - ts._mean
+                m = ts._mean + delta / n
+                ts._mean = m
+                ts._m2 += delta * (tot - m)
+                if tot < ts._min:
+                    ts._min = tot
+                if tot > ts._max:
+                    ts._max = tot
+                rc = res.count + 1
+                res.count = rc
+                if len(sample) < rcap:
+                    sample.append(lat)
+                else:
+                    j = res_rand(rc)
+                    if j < rcap:
+                        sample[j] = lat
+        order = self.orders[r]
+        free_slots = self.free_slots[r]
+        for _, slot, _ in completions:
+            self.awake[slot] = False
+            self.sealed[slot] = False
+            self.draining[slot] = False
+            self.epoch[slot] += 1
+            free_slots.append(slot)
+        if len(completions) == 1:
+            del order[completions[0][2]]
+        else:
+            for idx in sorted((comp[2] for comp in completions),
+                              reverse=True):
+                del order[idx]
+
+    # ------------------------------------------------------------------ #
+    # results, perf, invariants
+    # ------------------------------------------------------------------ #
+
+    def result(self, r: int) -> SimulationResult:
+        cfg = self.configs[r]
+        n_sw = self.NSW
+        measure = cfg.measure_cycles
+        host_rate = self.host_rate[r]
+        offered = sum(
+            host_rate[h] * cfg.message_length for h in host_rate
+        ) / n_sw
+        perf = self.perfs[r]
+        perf.cycles_executed = self.executed_l[r]
+        perf.cycles_skipped = self.skipped_l[r]
+        perf.arb_requests = self.arb_req_l[r]
+        perf.arb_conflicts = self.arb_conf_l[r]
+        perf.delivery_conflicts = self.deliv_conf_l[r]
+        accepted = self.consumed_measured[r] / measure / n_sw
+        return SimulationResult(
+            offered_flits_per_switch_cycle=offered,
+            accepted_flits_per_switch_cycle=accepted,
+            avg_latency=self.lat_stats[r].mean,
+            latency=self.lat_stats[r],
+            total_latency=self.tot_stats[r],
+            latency_percentiles=self.samplers[r].percentiles(),
+            messages_completed=self.completed_in_window[r],
+            messages_generated=self.generated[r],
+            flits_consumed_measured=self.consumed_measured[r],
+            cycles_measured=measure,
+            warmup_cycles=cfg.warmup_cycles,
+            meta={
+                "topology": self.topology.name,
+                "routing": self.table.routing.name,
+                "rate_msgs_per_host_cycle": self.rates[r],
+                "adaptive": cfg.adaptive,
+                "engine": "batch",
+                **perf.meta_counters(),
+            },
+            perf=perf.wall_times(),
+        )
+
+    def check_invariants(self, r: int) -> None:
+        """Port of the fast engine's conservation/exclusivity checks."""
+        length = self.length_l[r]
+        sealed = self.sealed
+        o_off = r * self.C
+        seen: Dict[int, int] = {}
+        for slot in self.orders[r]:
+            if sealed[slot]:
+                continue
+            t = self.tcol[slot]
+            c = self.clen[slot]
+            in_network = length - self.to_inject[slot] - self.consumed[slot]
+            assert sum(self.occ[t:t + c]) == in_network, slot
+            for j in range(t, t + c):
+                cid = self.chain[j]
+                assert self.owner[o_off + cid] == slot, (slot, cid)
+                assert cid not in seen, f"channel {cid} in two chains"
+                seen[cid] = slot
+                assert 0 <= self.occ[j] <= self.cap_l[r]
+        active = set(self.orders[r])
+        for cid in range(self.C):
+            own = self.owner[o_off + cid]
+            if own >= 0 and own not in active:
+                raise AssertionError(f"channel {cid} owned by inactive slot")
+        sw_off = r * self.NSW
+        for slot in self.orders[r]:
+            if self.awake[slot] or sealed[slot]:
+                continue
+            assert not self.draining[slot], slot
+            if self.arb_blocked[slot] == 1:
+                cands = self._candidates(self.adaptive_l[r],
+                                         self.head_sw[slot],
+                                         self.phase[slot],
+                                         self.dst_sw[slot])
+                assert all(self.owner[o_off + cc[0]] >= 0
+                           for cc in cands), slot
+            elif self.arb_blocked[slot] == 2:
+                assert self.avail_delivery[sw_off + self.dst_sw[slot]] == 0, \
+                    slot
+
+
+class BatchWormholeNetworkSimulator:
+    """Single-replication :class:`NetworkEngine` view over a batch core.
+
+    The drop-in ``engine="batch"`` object built by ``make_simulator``: a
+    batch of one, so solo callers (probes, stepwise tests, the CLI) get
+    the batch kernel through the ordinary engine seam.  For real batch
+    wins, hand ≥ 2 compatible configurations to :func:`simulate_batch`.
+    """
+
+    ENGINE_NAME = "batch"
+
+    def __init__(self, routing_table: RoutingTable, traffic: TrafficPattern,
+                 injection_rate: float,
+                 config: SimulationConfig = SimulationConfig()):
+        if config.virtual_channels != 1:
+            raise ValueError(
+                "BatchWormholeNetworkSimulator requires virtual_channels == 1;"
+                " build via make_simulator, which falls back to the budgeted"
+                " kernel for multi-VC configs"
+            )
+        self.table = routing_table
+        self.topology = routing_table.topology
+        self.traffic = traffic
+        self.rate = injection_rate
+        self.config = config
+        self._core = _BatchCore(routing_table, [(traffic, injection_rate,
+                                                 config)])
+
+    # -- NetworkEngine surface ----------------------------------------- #
+
+    @property
+    def cycle(self) -> int:
+        return self._core.cycle_l[0]
+
+    @property
+    def generated(self) -> int:
+        return self._core.generated[0]
+
+    @property
+    def trace(self) -> List[Tuple[int, int, int, int]]:
+        return self._core.traces[0]
+
+    @property
+    def perf(self) -> EnginePerf:
+        perf = self._core.perfs[0]
+        perf.cycles_executed = self._core.executed_l[0]
+        perf.cycles_skipped = self._core.skipped_l[0]
+        perf.arb_requests = self._core.arb_req_l[0]
+        perf.arb_conflicts = self._core.arb_conf_l[0]
+        perf.delivery_conflicts = self._core.deliv_conf_l[0]
+        return perf
+
+    @property
+    def rng(self) -> random.Random:
+        return self._core.rngs[0]
+
+    @rng.setter
+    def rng(self, value: random.Random) -> None:
+        self._core.rngs[0] = value
+
+    def step(self) -> None:
+        """Advance exactly one cycle (no event skipping)."""
+        core = self._core
+        target = core.cycle_l[0] + 1
+        saved = core.total_l[0]
+        if target > saved:
+            core.total_l[0] = target
+        core.advance([0], allow_skip=False, max_iterations=1)
+        core.total_l[0] = max(saved, core.cycle_l[0])
+
+    def run(self) -> SimulationResult:
+        """Run warmup + measurement and return the measured point."""
+        core = self._core
+        total = self.config.warmup_cycles + self.config.measure_cycles
+        with _trace.span("engine.run", engine=self.ENGINE_NAME,
+                         rate=self.rate, cycles=total) as sp:
+            core.advance([0], allow_skip=True)
+            result = core.result(0)
+            sp.set(accepted=result.accepted_flits_per_switch_cycle,
+                   avg_latency=result.avg_latency)
+        record_engine_metrics(result)
+        return result
+
+    def _result(self) -> SimulationResult:
+        return self._core.result(0)
+
+    def check_invariants(self) -> None:
+        """Run the core's conservation/exclusivity checks on this member."""
+        self._core.check_invariants(0)
+
+
+def build_batch_simulator(routing_table: RoutingTable,
+                          traffic: TrafficPattern,
+                          injection_rate: float,
+                          config: SimulationConfig):
+    """The ``engine="batch"`` factory used by ``make_simulator``.
+
+    ``virtual_channels == 1`` (the paper's setting) gets the lockstep
+    batch kernel; multi-VC configurations use the budgeted
+    struct-of-arrays kernel (shared link budgets couple worms, so the
+    batch kernel's dormancy/seal machinery does not apply) relabelled as
+    the batch engine — results are bit-identical either way.
+    """
+    if config.virtual_channels == 1:
+        return BatchWormholeNetworkSimulator(routing_table, traffic,
+                                             injection_rate, config)
+    return _BudgetedBatchFallback(routing_table, traffic, injection_rate,
+                                  config)
+
+
+def _make_fallback():
+    # Deferred import so engine_batch does not hard-depend on engine_fast
+    # at import time (they import the shared engine module in common).
+    from repro.simulation.engine_fast import FastWormholeNetworkSimulator
+
+    class _BudgetedBatchFallback(FastWormholeNetworkSimulator):
+        """Multi-VC fallback: the budgeted kernel under the batch label."""
+
+        ENGINE_NAME = "batch"
+
+    return _BudgetedBatchFallback
+
+
+_BudgetedBatchFallback = _make_fallback()
+
+
+def simulate_batch(
+    jobs: Sequence[Tuple[RoutingTable, TrafficPattern, float,
+                         SimulationConfig]],
+) -> List[SimulationResult]:
+    """Simulate every ``(table, traffic, rate, config)`` job as one batch.
+
+    Returns one :class:`SimulationResult` per job, in order, each
+    bit-identical (same RNG draw order, same canonical payload) to
+    running that job alone on any engine.  Raises
+    :class:`BatchCompatibilityError` if the jobs cannot share a kernel
+    (different routing tables / topologies, or mixed
+    ``virtual_channels``).
+
+    Composition-invariant: splitting a batch, reordering it, or running
+    members solo cannot change any member's result — each member owns
+    its own RNG stream and state partition, so this is structural, and
+    the batch-composition property test pins it.
+    """
+    jobs = list(jobs)
+    check_batch_compatible(jobs)
+    table = jobs[0][0]
+    vcs = jobs[0][3].virtual_channels
+    with _trace.span("engine.batch", engine="batch", members=len(jobs),
+                     vcs=vcs) as sp:
+        if vcs == 1:
+            core = _BatchCore(table, [(traffic, rate, cfg)
+                                      for _t, traffic, rate, cfg in jobs])
+            core.advance(list(range(core.R)), allow_skip=True)
+            results = [core.result(r) for r in range(core.R)]
+        else:
+            results = [
+                _BudgetedBatchFallback(table, traffic, rate, cfg).run()
+                for _t, traffic, rate, cfg in jobs
+            ]
+        sp.set(completed=sum(res.messages_completed for res in results))
+    for res in results:
+        record_engine_metrics(res)
+    return results
+
+
+__all__ = [
+    "BatchCompatibilityError",
+    "BatchWormholeNetworkSimulator",
+    "build_batch_simulator",
+    "check_batch_compatible",
+    "simulate_batch",
+]

@@ -85,6 +85,12 @@ def run_load_sweep(
     and one ``sweep.point`` event is emitted per point — from the parent,
     after the (possibly pooled) map returns, so the event stream is the
     same for serial and parallel runs.
+
+    With ``config.engine == "batch"`` the points are compatible
+    replications of one network by construction, so the whole ladder runs
+    as a single :func:`repro.simulation.engine_batch.simulate_batch` call
+    instead of point-at-a-time processes; per-point payloads are
+    bit-identical either way, so this is purely a performance path.
     """
     jobs: List[_SweepJob] = [
         (table, traffic, i, rate,
@@ -93,7 +99,19 @@ def run_load_sweep(
     ]
     with _trace.span("sweep.load", points=len(jobs),
                      engine=config.engine) as sp:
-        points = parallel_map(_simulate_point, jobs, workers=workers)
+        if config.engine == "batch":
+            from repro.simulation.engine_batch import simulate_batch
+
+            results = simulate_batch(
+                [(table, traffic, rate, cfg)
+                 for table, traffic, _i, rate, cfg in jobs]
+            )
+            points = [
+                LoadPoint(index=i, rate=rate, result=res)
+                for (_t, _tr, i, rate, _c), res in zip(jobs, results)
+            ]
+        else:
+            points = parallel_map(_simulate_point, jobs, workers=workers)
         if _trace.current_tracer() is not None:
             for point in points:
                 _trace.event(

@@ -1,5 +1,7 @@
 """Tests for the fault-injection study (new driver and legacy view)."""
 
+import json
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -13,7 +15,9 @@ from repro.experiments.failures import (
     render_fault_study,
     run_failure_study,
     run_fault_study,
+    simulate_fault_impact,
 )
+from repro.simulation.config import SimulationConfig
 from repro.faults.model import FaultScenario, sample_fault_scenarios
 from repro.routing.tables import RoutingTable
 from repro.routing.updown import UpDownRouting
@@ -217,3 +221,50 @@ class TestFaultStudy:
         res = run_fault_study(small_setup, seed=1)
         assert len(res.rows) == len(small_setup.topology.links)
         assert all(r.scenario.num_faults == 1 for r in res.rows)
+
+
+class TestSimulatedFaultImpact:
+    """The simulated throughput-under-faults companion to the C_c study."""
+
+    @pytest.fixture(scope="class")
+    def small_setup(self):
+        topo = random_irregular_topology(8, seed=7, name="fsim8")
+        return _setup_for(topo, 2,
+                          search=TabuSearch(restarts=2, max_iterations=10))
+
+    @pytest.fixture(scope="class")
+    def scenarios(self, small_setup):
+        return [FaultScenario(links=(link,))
+                for link in small_setup.topology.links[:3]]
+
+    def _impact(self, setup, scenarios, engine):
+        cfg = SimulationConfig(warmup_cycles=100, measure_cycles=300,
+                               seed=3, engine=engine)
+        return simulate_fault_impact(setup, scenarios,
+                                     rates=[0.002, 0.01], config=cfg)
+
+    def test_healthy_row_present_and_faults_swept(self, small_setup,
+                                                  scenarios):
+        out = self._impact(small_setup, scenarios, "fast")
+        assert "healthy" in out
+        # The seeded 3-regular topology survives single-link faults with
+        # all switches alive, so every scenario is full-machine.
+        assert len(out) == 1 + len(scenarios)
+        for row in out.values():
+            assert len(row["accepted"]) == 2
+            assert all(a >= 0 for a in row["accepted"])
+
+    def test_engine_batch_byte_identical_to_fast(self, small_setup,
+                                                 scenarios):
+        """The fault study's determinism contract is engine-independent."""
+        fast = self._impact(small_setup, scenarios, "fast")
+        batch = self._impact(small_setup, scenarios, "batch")
+        assert json.dumps(fast, sort_keys=True) \
+            == json.dumps(batch, sort_keys=True)
+
+    def test_fault_study_itself_is_engine_free(self, small_setup, scenarios):
+        """run_fault_study never simulates: its payload has no engine knob,
+        so the same bytes come out regardless of the ambient default."""
+        a = run_fault_study(small_setup, scenarios, seed=1)
+        b = run_fault_study(small_setup, scenarios, seed=1)
+        assert a.deterministic_payload() == b.deterministic_payload()

@@ -1,13 +1,14 @@
-"""Bit-identical parity between the reference and fast wormhole engines.
+"""Bit-identical parity between the reference, fast and batch engines.
 
-The struct-of-arrays kernel (:mod:`repro.simulation.engine_fast`) promises
-the *same* :class:`~repro.simulation.metrics.SimulationResult` payload as
-the readable reference engine for every configuration — same RNG draw
-order, same arbitration decisions, same statistics, down to the last
-float.  :func:`repro.simulation.engine.canonical_payload` strips only the
-engine-dependent wall-time/observability counters before comparison.
+The struct-of-arrays kernel (:mod:`repro.simulation.engine_fast`) and the
+many-replication batch kernel (:mod:`repro.simulation.engine_batch`) both
+promise the *same* :class:`~repro.simulation.metrics.SimulationResult`
+payload as the readable reference engine for every configuration — same
+RNG draw order, same arbitration decisions, same statistics, down to the
+last float.  :func:`repro.simulation.engine.canonical_payload` strips only
+the engine-dependent wall-time/observability counters before comparison.
 
-Three layers of evidence:
+Three layers of evidence, each run three-way:
 
 - a deterministic 48-scenario matrix (3 irregular topologies ×
   {adaptive, deterministic} × {1, 2} virtual channels × 2 seeds ×
@@ -16,6 +17,9 @@ Three layers of evidence:
 - targeted regressions: long messages (worm tail spans many channels,
   exercising the O(1) tail release), stepwise execution with invariant
   checks, and trace recording.
+
+Batch-specific coverage (composition invariance, heterogeneous batches,
+compatibility errors) lives in ``test_engine_batch.py``.
 """
 
 from dataclasses import replace
@@ -34,24 +38,34 @@ from repro.simulation.traffic import IntraClusterTraffic, UniformTraffic
 from repro.topology.designed import ring_topology
 from repro.topology.irregular import random_irregular_topology
 
-
-def _run_both(table, make_traffic, rate, cfg):
-    """Run both engines on identical inputs, return canonical payloads."""
-    ref = make_simulator(table, make_traffic(), rate,
-                         replace(cfg, engine="reference"))
-    fast = make_simulator(table, make_traffic(), rate,
-                          replace(cfg, engine="fast"))
-    return canonical_payload(ref.run()), canonical_payload(fast.run())
+ENGINES = ("reference", "fast", "batch")
 
 
-def _assert_identical(ref_payload, fast_payload, context=""):
-    if ref_payload != fast_payload:
+def _run_all(table, make_traffic, rate, cfg):
+    """Run all three engines on identical inputs -> name -> payload."""
+    payloads = {}
+    for engine in ENGINES:
+        sim = make_simulator(table, make_traffic(), rate,
+                             replace(cfg, engine=engine))
+        payloads[engine] = canonical_payload(sim.run())
+    return payloads
+
+
+def _assert_identical(ref_payload, other_payload, context="", label="fast"):
+    if ref_payload != other_payload:
         diffs = [
-            f"  {k}: ref={ref_payload[k]!r} fast={fast_payload.get(k)!r}"
+            f"  {k}: ref={ref_payload[k]!r} {label}={other_payload.get(k)!r}"
             for k in ref_payload
-            if ref_payload[k] != fast_payload.get(k)
+            if ref_payload[k] != other_payload.get(k)
         ]
         pytest.fail(f"engine divergence {context}\n" + "\n".join(diffs))
+
+
+def _assert_three_way(payloads, context=""):
+    """Every engine's payload must equal the reference's, byte for byte."""
+    ref = payloads["reference"]
+    for engine in ENGINES[1:]:
+        _assert_identical(ref, payloads[engine], context, label=engine)
 
 
 def _small_table(topo_seed):
@@ -80,10 +94,10 @@ class TestParityMatrix:
                     virtual_channels=vcs, adaptive=adaptive,
                     warmup_cycles=200, measure_cycles=800, seed=seed,
                 )
-                ref, fast = _run_both(
+                payloads = _run_all(
                     table, lambda: UniformTraffic(topo), rate, cfg)
-                _assert_identical(
-                    ref, fast,
+                _assert_three_way(
+                    payloads,
                     f"(topo={topo_seed} adaptive={adaptive} vcs={vcs} "
                     f"seed={seed} rate={rate})",
                 )
@@ -97,10 +111,10 @@ class TestParityMatrix:
         cfg = SimulationConfig(message_length=16, buffer_flits=2,
                                warmup_cycles=300, measure_cycles=1200,
                                seed=7)
-        ref, fast = _run_both(
+        payloads = _run_all(
             rtable16, lambda: IntraClusterTraffic(mapping), 0.01, cfg)
-        _assert_identical(ref, fast, "(intracluster, 16-switch)")
-        assert ref["messages_completed"] > 0
+        _assert_three_way(payloads, "(intracluster, 16-switch)")
+        assert payloads["reference"]["messages_completed"] > 0
 
 
 # --------------------------------------------------------------------- #
@@ -133,8 +147,8 @@ def test_parity_property(scenario):
     """Random topology × config × seed ⇒ identical payloads (ISSUE tentpole)."""
     topo, cfg, rate = scenario
     table = RoutingTable(UpDownRouting(topo))
-    ref, fast = _run_both(table, lambda: UniformTraffic(topo), rate, cfg)
-    _assert_identical(ref, fast, f"(hypothesis: {cfg!r}, rate={rate})")
+    payloads = _run_all(table, lambda: UniformTraffic(topo), rate, cfg)
+    _assert_three_way(payloads, f"(hypothesis: {cfg!r}, rate={rate})")
 
 
 # --------------------------------------------------------------------- #
@@ -147,8 +161,8 @@ class TestLongMessages:
 
     With ``message_length >> buffer_flits`` a delivered worm's tail drains
     one channel per cycle for hundreds of cycles; the reference engine
-    releases each channel with a deque ``popleft`` and the fast engine
-    with sealed-drain events.  Both must agree exactly.
+    releases each channel with a deque ``popleft`` and the array kernels
+    with sealed-drain events.  All three must agree exactly.
     """
 
     @pytest.mark.parametrize("vcs", [1, 2])
@@ -158,9 +172,10 @@ class TestLongMessages:
         cfg = SimulationConfig(message_length=256, buffer_flits=2,
                                virtual_channels=vcs,
                                warmup_cycles=0, measure_cycles=4000, seed=3)
-        ref, fast = _run_both(
+        payloads = _run_all(
             table, lambda: UniformTraffic(topo), 0.0005, cfg)
-        _assert_identical(ref, fast, f"(long messages, ring, vcs={vcs})")
+        _assert_three_way(payloads, f"(long messages, ring, vcs={vcs})")
+        ref = payloads["reference"]
         assert ref["messages_completed"] >= 1
         # A 256-flit worm takes at least 256 cycles to drain.
         assert ref["avg_latency"] > 256
@@ -171,17 +186,18 @@ class TestLongMessages:
         cfg = SimulationConfig(message_length=128, buffer_flits=1,
                                warmup_cycles=100, measure_cycles=3000,
                                seed=9)
-        ref, fast = _run_both(
+        payloads = _run_all(
             table, lambda: UniformTraffic(topo), 0.004, cfg)
-        _assert_identical(ref, fast, "(long messages, contended)")
-        assert ref["messages_completed"] >= 1
+        _assert_three_way(payloads, "(long messages, contended)")
+        assert payloads["reference"]["messages_completed"] >= 1
 
 
 class TestStepwiseExecution:
     """step() must trace the same trajectory as run(), cycle by cycle."""
 
+    @pytest.mark.parametrize("engine", ["fast", "batch"])
     @pytest.mark.parametrize("vcs", [1, 2])
-    def test_step_matches_run_with_invariants(self, vcs):
+    def test_step_matches_run_with_invariants(self, engine, vcs):
         topo, table = _small_table(23)
         cfg = SimulationConfig(message_length=16, buffer_flits=2,
                                virtual_channels=vcs,
@@ -189,7 +205,7 @@ class TestStepwiseExecution:
         total = cfg.warmup_cycles + cfg.measure_cycles
 
         stepped = make_simulator(table, UniformTraffic(topo), 0.01,
-                                 replace(cfg, engine="fast"))
+                                 replace(cfg, engine=engine))
         for cycle in range(total):
             stepped.step()
             if cycle % 50 == 0:
@@ -201,7 +217,7 @@ class TestStepwiseExecution:
         ref_res = ref.run()
         _assert_identical(canonical_payload(ref_res),
                           canonical_payload(stepped._result()),
-                          f"(stepwise, vcs={vcs})")
+                          f"(stepwise, vcs={vcs})", label=engine)
 
     def test_reference_step_agrees_too(self):
         topo, table = _small_table(37)
@@ -214,11 +230,12 @@ class TestStepwiseExecution:
             ref.step()
             if cycle % 50 == 0:
                 ref.check_invariants()
-        fast = make_simulator(table, UniformTraffic(topo), 0.015,
-                              replace(cfg, engine="fast"))
-        fast_res = fast.run()
-        _assert_identical(canonical_payload(ref._result()),
-                          canonical_payload(fast_res), "(reference stepwise)")
+        for engine in ("fast", "batch"):
+            res = make_simulator(table, UniformTraffic(topo), 0.015,
+                                 replace(cfg, engine=engine)).run()
+            _assert_identical(canonical_payload(ref._result()),
+                              canonical_payload(res),
+                              "(reference stepwise)", label=engine)
 
 
 class TestTraceParity:
@@ -228,14 +245,17 @@ class TestTraceParity:
         cfg = SimulationConfig(message_length=16, buffer_flits=2,
                                warmup_cycles=100, measure_cycles=500,
                                seed=4, record_trace=True)
-        ref = make_simulator(table, UniformTraffic(topo), 0.01,
-                             replace(cfg, engine="reference"))
-        fast = make_simulator(table, UniformTraffic(topo), 0.01,
-                              replace(cfg, engine="fast"))
-        ref.run()
-        fast.run()
-        assert list(ref.trace) == list(fast.trace)
-        assert len(ref.trace) > 0
+        sims = {
+            engine: make_simulator(table, UniformTraffic(topo), 0.01,
+                                   replace(cfg, engine=engine))
+            for engine in ENGINES
+        }
+        for sim in sims.values():
+            sim.run()
+        ref_trace = list(sims["reference"].trace)
+        assert len(ref_trace) > 0
+        assert list(sims["fast"].trace) == ref_trace
+        assert list(sims["batch"].trace) == ref_trace
 
 
 class TestTracingInertness:
@@ -247,7 +267,7 @@ class TestTracingInertness:
     """
 
     @pytest.mark.parametrize("topo_seed", [11, 23, 37])
-    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    @pytest.mark.parametrize("engine", ["reference", "fast", "batch"])
     def test_results_bit_identical_with_tracing(self, topo_seed, engine):
         topo, table = _small_table(topo_seed)
         for seed in (0, 3):
@@ -293,30 +313,32 @@ class TestTracingInertness:
 
 
 class TestObservability:
-    """Fast-engine results must carry the perf/observability counters."""
+    """Array-kernel results must carry the perf/observability counters."""
 
-    def test_fast_meta_counters(self):
+    @pytest.mark.parametrize("engine", ["fast", "batch"])
+    def test_meta_counters(self, engine):
         topo, table = _small_table(11)
         cfg = SimulationConfig(message_length=16, buffer_flits=2,
                                warmup_cycles=100, measure_cycles=500, seed=4)
-        fast = make_simulator(table, UniformTraffic(topo), 0.005,
-                              replace(cfg, engine="fast"))
-        res = fast.run()
+        sim = make_simulator(table, UniformTraffic(topo), 0.005,
+                             replace(cfg, engine=engine))
+        res = sim.run()
         meta = res.meta
-        assert meta["engine"] == "fast"
+        assert meta["engine"] == engine
         assert meta["cycles_executed"] + meta["cycles_skipped"] == 600
         assert 0.0 <= meta["arb_conflict_rate"] <= 1.0
         for key in ("arrivals_seconds", "injection_seconds",
                     "arbitration_seconds", "flit_move_seconds"):
             assert res.perf[key] >= 0.0
 
-    def test_quiescence_skips_at_low_rate(self):
+    @pytest.mark.parametrize("engine", ["fast", "batch"])
+    def test_quiescence_skips_at_low_rate(self, engine):
         """At a trickle rate most cycles are provably idle and skipped."""
         topo, table = _small_table(23)
         cfg = SimulationConfig(message_length=4, buffer_flits=2,
                                warmup_cycles=0, measure_cycles=5000, seed=1)
-        fast = make_simulator(table, UniformTraffic(topo), 0.0002,
-                              replace(cfg, engine="fast"))
-        res = fast.run()
+        sim = make_simulator(table, UniformTraffic(topo), 0.0002,
+                             replace(cfg, engine=engine))
+        res = sim.run()
         assert res.meta["cycles_skipped"] > 0
         assert res.meta["cycles_executed"] < 5000

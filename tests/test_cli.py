@@ -72,6 +72,20 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert "scheduled" in out and "S1 acc" in out and "S2 lat" in out
 
+    def test_engine_batch_flag_matches_fast(self, capsys):
+        """--engine batch runs the sweep batched, same numbers out."""
+        argv = [
+            "simulate", "--switches", "8", "--seed", "1", "--clusters", "2",
+            "--randoms", "0", "--points", "3", "--measure", "300",
+            "--warmup", "100", "--max-rate", "0.01",
+        ]
+        assert main(argv + ["--engine", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert batch_out == fast_out
+        assert "S3 acc" in batch_out
+
 
 class TestFiguresCommand:
     def test_fig2_and_fig4(self, capsys):
