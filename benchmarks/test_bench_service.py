@@ -9,8 +9,13 @@ two live loopback daemons:
   pre-service world.
 * **service**: micro-batching + content-addressed dedup + warm persistent
   pool, i.e. the default ``ServiceConfig``.
+* **hardened**: the service config plus the full self-healing tier —
+  write-ahead journal (fsync per accepted request), per-request deadline,
+  supervision and heartbeat.  Measures what crash safety costs on the
+  fault-free path; the bar is < 5% wall-clock regression (plus a small
+  constant for short runs).
 
-Writes sustained req/s and p50/p95/p99 latency for both to
+Writes sustained req/s and p50/p95/p99 latency for all three to
 ``benchmarks/BENCH_service.json`` and asserts the full service clears the
 naive baseline by >= 3x while every reply stays byte-identical to a solo
 ``execute_batch`` run — the determinism contract under load.
@@ -40,6 +45,11 @@ ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", 6))
 UNIQUE = 8          # distinct requests in the mix (duplicate-heavy load)
 WORKERS = 2
 MIN_SPEEDUP = 3.0
+# Hardening (WAL + deadlines + supervision) may cost at most 5% on the
+# fault-free path, plus a small constant so short runs aren't judged on
+# scheduler jitter alone.
+MAX_HARDENED_OVERHEAD = 1.05
+HARDENED_SLACK_SECONDS = 0.25
 
 
 def _request_pool():
@@ -126,50 +136,69 @@ def _phase(config, payloads):
     }, replies
 
 
-def _render(naive, full, speedup):
-    rows = [("", "naive", "service")]
+def _render(naive, full, hardened, speedup, overhead):
+    rows = [("", "naive", "service", "hardened")]
     for key in ("requests", "wall_seconds", "throughput_rps",
                 "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
                 "served_computed", "served_store", "served_inflight",
                 "batches", "max_batch"):
-        rows.append((key, str(naive[key]), str(full[key])))
-    widths = [max(len(r[i]) for r in rows) for i in range(3)]
+        rows.append((key, str(naive[key]), str(full[key]),
+                     str(hardened[key])))
+    widths = [max(len(r[i]) for r in rows) for i in range(4)]
     lines = ["service load test: %d clients x %d rounds, %d unique requests"
              % (CLIENTS, ROUNDS, UNIQUE)]
     for r in rows:
         lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
     lines.append(f"throughput speedup: {speedup:.2f}x "
                  f"(required >= {MIN_SPEEDUP:.1f}x)")
+    lines.append(f"hardening overhead: {overhead:.3f}x wall "
+                 f"(bar: {MAX_HARDENED_OVERHEAD:.2f}x "
+                 f"+ {HARDENED_SLACK_SECONDS:.2f}s)")
     return "\n".join(lines)
 
 
-def test_bench_service(benchmark, record):
+def test_bench_service(benchmark, record, tmp_path):
     payloads, fingerprints = _request_pool()
     expected = dict(zip(fingerprints, execute_batch(payloads)))
 
     naive_cfg = ServiceConfig(port=0, workers=WORKERS, max_pending=256,
                               batching=False, dedup=False, cold=True)
     full_cfg = ServiceConfig(port=0, workers=WORKERS, max_pending=256)
+    hardened_cfg = ServiceConfig(port=0, workers=WORKERS, max_pending=256,
+                                 wal_path=tmp_path / "bench.wal",
+                                 request_deadline=120.0,
+                                 heartbeat_interval=5.0)
 
     naive, naive_replies = _phase(naive_cfg, payloads)
     full, full_replies = run_once(benchmark, lambda: _phase(full_cfg,
                                                             payloads))
+    hardened, hardened_replies = _phase(hardened_cfg, payloads)
 
     # Determinism contract under load: whether a reply was computed cold,
-    # coalesced into a batch, or served from the store, it is byte-identical
-    # to a solo execute_batch run.
+    # coalesced into a batch, served from the store, or journaled through
+    # the WAL, it is byte-identical to a solo execute_batch run.
     for fp, want in expected.items():
         assert naive_replies[fp] == want, f"naive reply diverged for {fp}"
         assert full_replies[fp] == want, f"service reply diverged for {fp}"
+        assert hardened_replies[fp] == want, \
+            f"hardened reply diverged for {fp}"
 
     speedup = full["throughput_rps"] / naive["throughput_rps"]
-    record("service_load_test", _render(naive, full, speedup))
+    overhead = hardened["wall_seconds"] / full["wall_seconds"]
+    record("service_load_test",
+           _render(naive, full, hardened, speedup, overhead))
 
     assert full["served_store"] + full["served_inflight"] > 0, \
         "dedup never fired on a duplicate-heavy mix"
     assert speedup >= MIN_SPEEDUP, (
         f"batching+dedup service managed only {speedup:.2f}x the naive "
         f"baseline (required >= {MIN_SPEEDUP:.1f}x)")
+    assert hardened["wall_seconds"] <= (
+        full["wall_seconds"] * MAX_HARDENED_OVERHEAD
+        + HARDENED_SLACK_SECONDS), (
+        f"self-healing tier cost {overhead:.3f}x wall on the fault-free "
+        f"path (bar: {MAX_HARDENED_OVERHEAD:.2f}x "
+        f"+ {HARDENED_SLACK_SECONDS:.2f}s)")
 
     payload = {
         "benchmark": "service",
@@ -179,8 +208,11 @@ def test_bench_service(benchmark, record):
         "workers": WORKERS,
         "naive": naive,
         "service": full,
+        "hardened": hardened,
         "throughput_speedup": round(speedup, 3),
         "min_required_speedup": MIN_SPEEDUP,
+        "hardened_overhead_wall": round(overhead, 4),
+        "max_hardened_overhead": MAX_HARDENED_OVERHEAD,
         "deterministic": True,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")

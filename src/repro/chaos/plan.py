@@ -1,0 +1,156 @@
+"""Seeded, deterministic fault plans for the chaos harness.
+
+A chaos run must be *reproducible*: the same seed injects the same faults
+at the same points, so a failure found in CI replays exactly on a
+laptop.  Two kinds of plan live here:
+
+- **executor plans** — ``{batch sequence number: FaultAction}`` maps
+  consumed by :class:`repro.chaos.inject.ChaoticExecutor` inside worker
+  processes.  Keying on the daemon's batch sequence number (not wall
+  time, not PID) is what makes injection deterministic: batch #2 crashes
+  no matter which worker runs it or when.
+- **wire plans** — a pure function from (connection index, frame index)
+  to an action for :class:`repro.chaos.inject.ChaosProxy`, derived by
+  hashing the seed with both indices, so every frame's fate is fixed the
+  moment the seed is chosen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+#: Executor-side fault kinds.
+EXECUTOR_FAULTS = ("crash", "hang", "error", "slow")
+
+#: Wire-side actions the proxy can take on one reply frame.
+WIRE_ACTIONS = ("forward", "tear", "drop", "garbage")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One injected fault: what to do and (for hang/slow) for how long."""
+
+    kind: str
+    delay: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in EXECUTOR_FAULTS:
+            raise ValueError(
+                f"kind must be one of {EXECUTOR_FAULTS}, got {self.kind!r}"
+            )
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+
+def crash_at(*seqs: int) -> Dict[int, FaultAction]:
+    """A plan that kills the worker process on the given batch numbers."""
+    return {int(s): FaultAction("crash") for s in seqs}
+
+
+def hang_at(seq: int, *, delay: float = 30.0) -> Dict[int, FaultAction]:
+    """A plan that wedges the given batch for ``delay`` seconds."""
+    return {int(seq): FaultAction("hang", delay=delay)}
+
+
+def error_at(*seqs: int) -> Dict[int, FaultAction]:
+    """A plan that raises a runtime error from the given batches."""
+    return {int(s): FaultAction("error") for s in seqs}
+
+
+def slow_at(seq: int, *, delay: float = 0.2) -> Dict[int, FaultAction]:
+    """A plan that delays (but completes) the given batch."""
+    return {int(seq): FaultAction("slow", delay=delay)}
+
+
+def random_plan(seed: int, *, batches: int, rate: float = 0.3,
+                kinds: Iterable[str] = ("crash", "error"),
+                delay: float = 0.2) -> Dict[int, FaultAction]:
+    """A seeded random plan over ``batches`` batch numbers (1-based).
+
+    Each batch independently draws whether to fault (probability
+    ``rate``) and which kind; the draw order is fixed, so the plan is a
+    pure function of its arguments.
+    """
+    rng = random.Random(seed)
+    kinds = tuple(kinds)
+    plan: Dict[int, FaultAction] = {}
+    for seq in range(1, batches + 1):
+        if rng.random() < rate:
+            plan[seq] = FaultAction(rng.choice(kinds), delay=delay)
+    return plan
+
+
+def wire_action(seed: int, conn_index: int, frame_index: int, *,
+                tear: float = 0.0, drop: float = 0.0,
+                garbage: float = 0.0) -> str:
+    """The proxy's action for one reply frame — a pure hash of the seed.
+
+    The (seed, connection, frame) triple is hashed to a uniform draw in
+    ``[0, 1)`` which the cumulative ``tear``/``drop``/``garbage``
+    probabilities partition; everything else forwards untouched.  No RNG
+    state is carried between frames, so concurrent connections cannot
+    perturb each other's draws.
+    """
+    for p in (tear, drop, garbage):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probabilities must be in [0, 1], got {p}")
+    if tear + drop + garbage > 1.0:
+        raise ValueError("tear + drop + garbage must be <= 1")
+    blob = f"{seed}:{conn_index}:{frame_index}".encode()
+    u = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") / 2 ** 64
+    if u < tear:
+        return "tear"
+    if u < tear + drop:
+        return "drop"
+    if u < tear + drop + garbage:
+        return "garbage"
+    return "forward"
+
+
+def mutate_frame(raw: bytes, seed: int, index: int) -> bytes:
+    """Deterministically damage one wire frame (fuzz-flood scenario).
+
+    Picks a mutation — truncate, flip a byte, splice two halves, inject
+    binary garbage, or blank the line — from a seeded draw.  Never
+    returns the input unchanged (a mutation that lands on identity is
+    nudged), so every flooded frame really is malformed *or* at least
+    altered.
+    """
+    rng = random.Random(f"{seed}:{index}")
+    if not raw:
+        return b"\x00\n"
+    body = raw.rstrip(b"\n")
+    choice = rng.randrange(5)
+    if choice == 0 and len(body) > 1:          # truncate
+        out = body[:rng.randrange(1, len(body))]
+    elif choice == 1:                          # flip one byte
+        i = rng.randrange(len(body))
+        flipped = bytes([body[i] ^ (1 + rng.randrange(255))])
+        out = body[:i] + flipped + body[i + 1:]
+    elif choice == 2 and len(body) > 3:        # splice halves
+        cut = rng.randrange(1, len(body) - 1)
+        out = body[cut:] + body[:cut]
+    elif choice == 3:                          # binary garbage
+        out = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 64)))
+    else:                                      # blank / whitespace
+        out = b" " * rng.randrange(1, 4)
+    if out == body:
+        out = out + b"\xff"
+    return out + b"\n"
+
+
+__all__ = [
+    "EXECUTOR_FAULTS",
+    "WIRE_ACTIONS",
+    "FaultAction",
+    "crash_at",
+    "hang_at",
+    "error_at",
+    "slow_at",
+    "random_plan",
+    "wire_action",
+    "mutate_frame",
+]

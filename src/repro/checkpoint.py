@@ -51,7 +51,7 @@ class CheckpointMismatch(RuntimeError):
     """The checkpoint on disk belongs to a different run configuration."""
 
 
-def _fsync_dir(directory: Path) -> None:
+def fsync_dir(directory: PathLike) -> None:
     """fsync a directory so a just-completed rename survives a power cut."""
     try:
         fd = os.open(directory, os.O_RDONLY)
@@ -63,6 +63,31 @@ def _fsync_dir(directory: Path) -> None:
         pass
     finally:
         os.close(fd)
+
+
+# Backward-compatible private alias (kept for in-tree callers).
+_fsync_dir = fsync_dir
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Replace ``path`` with ``text`` crash-safely: temp + ``os.replace``.
+
+    The new content is written to a temporary sibling, flushed and fsynced,
+    then atomically swapped in; the directory entry is fsynced so the
+    rename itself is durable.  A crash at any byte leaves either the old
+    file or the complete new one — never a torn hybrid.  This is the write
+    discipline shared by :class:`SweepCheckpoint` compaction and the
+    service's write-ahead log (:mod:`repro.service.wal`).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
 
 
 class SweepCheckpoint:
@@ -201,16 +226,10 @@ class SweepCheckpoint:
         fsynced after the swap so the rename itself is durable.
         """
         self.close()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        with open(tmp, "w") as fh:
-            fh.write(self._header_line())
-            for index in sorted(self._results):
-                fh.write(self._entry_line(index, self._results[index]))
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.path)
-        _fsync_dir(self.path.parent)
+        lines = [self._header_line()]
+        lines.extend(self._entry_line(index, self._results[index])
+                     for index in sorted(self._results))
+        atomic_write_text(self.path, "".join(lines))
         self._rewrite_needed = False
 
     # ------------------------------------------------------------------ #
@@ -251,4 +270,5 @@ class SweepCheckpoint:
         )
 
 
-__all__ = ["CheckpointMismatch", "SweepCheckpoint"]
+__all__ = ["CheckpointMismatch", "SweepCheckpoint", "atomic_write_text",
+           "fsync_dir"]

@@ -12,9 +12,12 @@
 - ``figures``   — regenerate the paper's Figures 1–6 (text renderings);
 - ``report``    — summarize a JSONL trace produced with ``--trace``;
 - ``serve``     — run the resident scheduling service (persistent worker
-  pool, micro-batching, result store);
+  pool, micro-batching, result store; ``--wal``/``--deadline``/
+  ``--heartbeat`` enable the self-healing tier);
 - ``submit``    — send one scheduling request to a running service;
-- ``status``    — print a running service's counters.
+- ``status``    — print a running service's counters;
+- ``chaos``     — run the deterministic fault-injection scenarios against
+  a freshly started service and report the invariant verdicts.
 
 ``--trace PATH`` (global, also accepted after any execution subcommand)
 records a structured JSONL trace of the run — manifest, nested spans,
@@ -258,6 +261,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Run the scheduling service until interrupted (``repro serve``)."""
     from repro.service import AdmissionPolicy, ServiceConfig, run_service
 
+    if args.wal and args.no_dedup:
+        raise SystemExit("--wal requires deduplication; drop --no-dedup "
+                         "(replay rides the store/in-flight dedup path)")
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -269,8 +275,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
         admission=AdmissionPolicy(max_switches=args.max_switches),
         batching=not args.no_batching,
         dedup=not args.no_dedup,
+        request_deadline=args.deadline if args.deadline > 0 else None,
+        max_redispatch=args.max_redispatch,
+        heartbeat_interval=args.heartbeat if args.heartbeat > 0 else None,
+        wal_path=args.wal,
     )
     return run_service(config)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos scenarios and report verdicts (``repro chaos``)."""
+    import json as _json
+
+    from repro.chaos import SCENARIOS, render_report, run_scenarios
+
+    if args.list:
+        for name in SCENARIOS:
+            print(name)
+        return 0
+    try:
+        results = run_scenarios(args.scenario or None, seed=args.seed,
+                                workdir=args.workdir)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(_json.dumps([r.to_dict() for r in results], indent=2,
+                          sort_keys=True))
+    else:
+        print(render_report(results))
+    return 0 if all(r.invariant_ok for r in results) else 1
 
 
 def _build_request(args: argparse.Namespace):
@@ -580,7 +613,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dispatch one request per pool job")
     p.add_argument("--no-dedup", action="store_true",
                    help="disable the result store and request coalescing")
+    p.add_argument("--wal", metavar="PATH", default=None,
+                   help="journal accepted requests to PATH and replay "
+                        "unfinished ones on the next start (crash safety)")
+    p.add_argument("--deadline", type=float, default=0.0,
+                   help="per-attempt worker deadline in seconds; a wedged "
+                        "batch is killed, restarted and answered with a "
+                        "typed error (0 disables; default: 0)")
+    p.add_argument("--max-redispatch", type=int, default=2,
+                   help="re-dispatches after a worker crash before the "
+                        "request fails typed (default: 2)")
+    p.add_argument("--heartbeat", type=float, default=0.0,
+                   help="probe an idle pool every N seconds and restart it "
+                        "on a missed beat (0 disables; default: 0)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("chaos",
+                       help="run the deterministic fault-injection "
+                            "scenarios against a fresh service")
+    p.add_argument("--scenario", action="append", metavar="NAME",
+                   help="scenario to run (repeatable; default: all; "
+                        "see --list)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed; the same seed injects the same "
+                        "faults at the same points (default: 0)")
+    p.add_argument("--workdir", metavar="PATH", default=None,
+                   help="directory for latches/journals (default: a fresh "
+                        "temp dir)")
+    p.add_argument("--json", action="store_true",
+                   help="print structured per-scenario results")
+    p.add_argument("--list", action="store_true",
+                   help="list scenario names and exit")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("submit",
                        help="submit one request to a running service")

@@ -52,6 +52,7 @@ Worker-count resolution, in precedence order:
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 import warnings
@@ -72,10 +73,20 @@ WorkersLike = Union[None, int, str]
 
 WORKERS_ENV = "REPRO_WORKERS"
 
-#: Backoff schedule for ``retries``: attempt ``k`` sleeps
-#: ``min(BACKOFF_CAP, BACKOFF_BASE * 2**k)`` seconds before re-running.
+#: Backoff schedule for ``retries``: attempt ``k`` sleeps a *full-jitter*
+#: delay drawn uniformly from ``[0, min(BACKOFF_CAP, BACKOFF_BASE * 2**k)]``
+#: seconds before re-running.  The jitter decorrelates concurrent clients
+#: and jobs retrying against the same recovering pool or service, so a
+#: synchronized failure does not turn into a synchronized retry stampede;
+#: the hard cap bounds the worst-case wait no matter how large ``attempt``
+#: grows.
 BACKOFF_BASE = 0.05
 BACKOFF_CAP = 2.0
+
+# Process-wide jitter source.  Backoff delays never influence results
+# (only when work re-runs, not what it computes), so this RNG is
+# deliberately unseeded; tests pass an explicit ``rng`` for determinism.
+_backoff_rng = random.Random()
 
 # Test seam: monkeypatched to observe/skip the backoff sleeps.
 _sleep = time.sleep
@@ -124,9 +135,33 @@ def resolve_workers(workers: WorkersLike = None) -> int:
     return workers
 
 
+def backoff_delay(attempt: int, *, base: float = BACKOFF_BASE,
+                  cap: float = BACKOFF_CAP,
+                  rng: Optional[random.Random] = None) -> float:
+    """Full-jitter capped exponential backoff delay for retry ``attempt``.
+
+    Returns a delay drawn uniformly from ``[0, min(cap, base * 2**attempt)]``
+    seconds (the AWS "full jitter" scheme).  The uniform draw decorrelates
+    retry storms — two clients that failed at the same instant retry at
+    different instants — and the hard ``cap`` bounds the ceiling for any
+    attempt count (``2.0 ** attempt`` saturating to ``inf`` is fine: the
+    ``min`` keeps the ceiling at ``cap``).
+
+    ``rng`` defaults to a process-wide unseeded generator; pass an explicit
+    :class:`random.Random` to make delays reproducible (the scheduling
+    *results* never depend on them either way).
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    if base < 0 or cap < 0:
+        raise ValueError(f"base and cap must be >= 0, got {base}/{cap}")
+    ceiling = min(cap, base * (2.0 ** attempt))
+    return (rng or _backoff_rng).uniform(0.0, ceiling)
+
+
 def _backoff_delay(attempt: int) -> float:
-    """Capped exponential backoff delay before retry ``attempt`` (0-based)."""
-    return min(BACKOFF_CAP, BACKOFF_BASE * (2.0 ** attempt))
+    """Backward-compatible alias of :func:`backoff_delay` (0-based)."""
+    return backoff_delay(attempt)
 
 
 def _reap(executor: Optional[ProcessPoolExecutor], *, kill: bool) -> None:
@@ -525,6 +560,7 @@ __all__ = [
     "WORKERS_ENV",
     "BACKOFF_BASE",
     "BACKOFF_CAP",
+    "backoff_delay",
     "JobTimeoutError",
     "detect_workers",
     "resolve_workers",

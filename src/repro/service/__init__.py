@@ -11,15 +11,27 @@ Layers (one module each):
 
 - :mod:`~repro.service.protocol` — wire types, strict decoding, request
   fingerprints, the determinism contract;
-- :mod:`~repro.service.store` — content-addressed TTL result store;
-- :mod:`~repro.service.queue` — admission policy, backpressure, the
-  bounded priority queue with the micro-batching window;
+- :mod:`~repro.service.store` — content-addressed TTL result store with
+  integrity digests (corruption degrades to a recompute, never a wrong
+  reply);
+- :mod:`~repro.service.queue` — admission policy, backpressure,
+  priority-aware load shedding, the bounded priority queue with the
+  micro-batching window;
 - :mod:`~repro.service.batch` — batch planning by topology fingerprint
   and the pure worker-side executor;
+- :mod:`~repro.service.supervisor` — deadlines, worker restart and
+  re-dispatch, the idle-pool heartbeat and the circuit breaker that
+  flips the daemon into degraded mode;
+- :mod:`~repro.service.wal` — the write-ahead journal of accepted
+  requests, replayed byte-identically after a daemon kill;
 - :mod:`~repro.service.server` — the daemon tying it all to a persistent
   :class:`repro.parallel.WorkerPool`;
 - :mod:`~repro.service.client` — the blocking client the CLI and the
-  load bench use.
+  load bench use, with transparent reconnect for idempotent ops.
+
+The invariant the chaos harness (:mod:`repro.chaos`) enforces across all
+of it: every accepted request terminates with a byte-identical correct
+reply or an explicit typed error — never a hang, never silent loss.
 
 Entry points: ``repro serve`` / ``repro submit`` / ``repro status``, or
 programmatically::
@@ -38,8 +50,9 @@ from repro.service.batch import (
     execute_request,
     plan_batches,
 )
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import IDEMPOTENT_OPS, ServiceClient, ServiceError
 from repro.service.protocol import (
+    ERROR_CODES,
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     SEARCH_METHODS,
@@ -58,28 +71,47 @@ from repro.service.queue import (
     BackpressureError,
     Job,
     JobQueue,
+    ShedError,
 )
 from repro.service.server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
     SchedulerService,
     ServiceConfig,
+    ServiceStartupError,
     run_service,
     running_service,
 )
 from repro.service.store import ResultStore, StoreStats
+from repro.service.supervisor import (
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    PoolSupervisor,
+    SupervisorError,
+    WorkerCrashError,
+)
+from repro.service.wal import WalError, WriteAheadLog
 
 __all__ = [
     "AdmissionError",
     "AdmissionPolicy",
     "BackpressureError",
     "BatchGroup",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DeadlineExceededError",
+    "ERROR_CODES",
+    "IDEMPOTENT_OPS",
     "Job",
     "JobQueue",
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
+    "PoolSupervisor",
     "ProtocolError",
     "ResultStore",
     "SEARCH_METHODS",
@@ -89,9 +121,15 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceStartupError",
     "ServiceStatus",
+    "ShedError",
     "SimulateSpec",
     "StoreStats",
+    "SupervisorError",
+    "WalError",
+    "WorkerCrashError",
+    "WriteAheadLog",
     "build_search",
     "decode_line",
     "encode_line",

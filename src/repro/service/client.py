@@ -9,14 +9,28 @@ Server-side rejections surface as :class:`ServiceError` carrying the
 envelope's error ``code`` (``backpressure``, ``rejected``, ``bad-request``,
 …) and any extra fields (e.g. ``retry_after``), so callers can implement
 retry policy without string matching.
+
+Transport faults are healed transparently for *idempotent* operations:
+when the connection dies or the reply frame is torn mid-read, the client
+reconnects and re-sends with full-jitter backoff
+(:func:`repro.parallel.backoff_delay`), up to ``retries`` times.  This is
+safe because every retryable op is idempotent by construction — ``ping``
+and ``status`` are reads, and ``submit``/``result`` are keyed by the
+request's *content fingerprint*: a replayed submit deduplicates against
+the store or the in-flight table server-side and yields the byte-identical
+canonical payload.  ``shutdown`` is never retried, and a structured error
+reply (:class:`ServiceError`) is a *successful* exchange — it propagates
+immediately, retry policy for those belongs to the caller.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any, Dict, Optional
 
+from repro.parallel import backoff_delay
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -25,6 +39,11 @@ from repro.service.protocol import (
     decode_line,
     encode_line,
 )
+
+#: Ops safe to replay on a dead connection: reads, plus the fingerprint-
+#: keyed submit/result pair (deduplicated server-side).  ``shutdown`` is
+#: deliberately absent.
+IDEMPOTENT_OPS = frozenset({"ping", "status", "submit", "result"})
 
 
 class ServiceError(Exception):
@@ -55,10 +74,15 @@ class ServiceClient:
             reply = client.submit(request)
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 120.0):
+    def __init__(self, host: str, port: int, *, timeout: float = 120.0,
+                 retries: int = 2, rng: Optional[random.Random] = None):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self._rng = rng or random.Random()
         self._sock: Optional[socket.socket] = None
         self._rfile = None
 
@@ -98,7 +122,27 @@ class ServiceClient:
         self.close()
 
     def _call(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """One request/reply exchange; raises ServiceError on error replies."""
+        """One request/reply exchange; raises ServiceError on error replies.
+
+        Idempotent ops (:data:`IDEMPOTENT_OPS`) are transparently
+        reconnected and re-sent when the transport dies or the reply
+        frame is torn, with full-jitter backoff between attempts; the
+        final failure propagates unchanged once ``retries`` is spent.
+        """
+        attempts = (self.retries + 1
+                    if message.get("op") in IDEMPOTENT_OPS else 1)
+        for attempt in range(attempts):
+            try:
+                return self._exchange(message)
+            except (ConnectionError, ProtocolError, OSError):
+                self.close()
+                if attempt + 1 >= attempts:
+                    raise
+                time.sleep(backoff_delay(attempt, rng=self._rng))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _exchange(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame and read one reply on the current connection."""
         self.connect()
         try:
             self._sock.sendall(encode_line(message))
@@ -178,4 +222,4 @@ class ServiceClient:
         ) from last
 
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["IDEMPOTENT_OPS", "ServiceClient", "ServiceError"]

@@ -54,6 +54,25 @@ class ProtocolError(ValueError):
     """A malformed, oversized or semantically invalid wire payload."""
 
 
+#: Every ``error.code`` the service emits.  The chaos harness classifies
+#: request outcomes against this set: an error reply whose code is listed
+#: here is a *typed* error (an acceptable outcome under fault injection);
+#: anything else counts as an invariant violation.
+ERROR_CODES = frozenset({
+    "protocol",        # unparsable/oversized frame
+    "bad-request",     # a frame that parsed but failed request validation
+    "unknown-op",      # an op the daemon does not speak
+    "unknown-ticket",  # result lookup for a fingerprint never seen
+    "rejected",        # admission policy (permanent for this deployment)
+    "backpressure",    # pending-work bound reached; carries retry_after
+    "shed",            # evicted for higher-priority work; carries retry_after
+    "degraded",        # circuit breaker open; carries retry_after
+    "deadline",        # the request's execution deadline expired
+    "crashed",         # workers died past the re-dispatch budget
+    "failed",          # the job's own exception
+})
+
+
 #: Search methods a request may name.  Exhaustive/A* are deliberately
 #: absent: their cost explodes with topology size, which is exactly what a
 #: shared service must not let one request do (admission control caps the
@@ -512,10 +531,18 @@ class ServiceStatus:
     store: Dict[str, int]         # size / hits / misses / evictions / expirations
     pool: Dict[str, Any]          # workers / active
     batches: Dict[str, Any]       # count / requests / mean_size / max_size
+    supervisor: Optional[Dict[str, Any]] = None  # restarts / breaker / ...
+    wal: Optional[Dict[str, Any]] = None         # path / pending / recovered
 
     def to_dict(self) -> Dict[str, Any]:
-        """Encode as a tagged JSON-ready dict (the ``status`` reply body)."""
-        return {
+        """Encode as a tagged JSON-ready dict (the ``status`` reply body).
+
+        The self-healing fields (``supervisor``, ``wal``) are emitted only
+        when present, so snapshots from daemons predating them — and WAL
+        fields from daemons running without a journal — round-trip
+        unchanged.
+        """
+        d = {
             "type": "service_status",
             "version": PROTOCOL_VERSION,
             "package_version": self.version,
@@ -530,6 +557,11 @@ class ServiceStatus:
             "pool": dict(self.pool),
             "batches": dict(self.batches),
         }
+        if self.supervisor is not None:
+            d["supervisor"] = dict(self.supervisor)
+        if self.wal is not None:
+            d["wal"] = dict(self.wal)
+        return d
 
     @classmethod
     def from_dict(cls, d: Any) -> "ServiceStatus":
@@ -541,10 +573,14 @@ class ServiceStatus:
         required = {"type", "package_version", "uptime_seconds",
                     "requests_total", "served", "rejected", "queue_depth",
                     "queue_capacity", "inflight", "store", "pool", "batches"}
-        _check_keys(d, required=required, optional={"version"},
+        _check_keys(d, required=required,
+                    optional={"version", "supervisor", "wal"},
                     what="service_status")
         for key in ("served", "rejected", "store", "pool", "batches"):
             _require_dict(d[key], f"service_status.{key}")
+        for key in ("supervisor", "wal"):
+            if d.get(key) is not None:
+                _require_dict(d[key], f"service_status.{key}")
         return cls(
             version=str(d["package_version"]),
             uptime_seconds=float(d["uptime_seconds"]),
@@ -557,6 +593,9 @@ class ServiceStatus:
             store=dict(d["store"]),
             pool=dict(d["pool"]),
             batches=dict(d["batches"]),
+            supervisor=(dict(d["supervisor"])
+                        if d.get("supervisor") is not None else None),
+            wal=dict(d["wal"]) if d.get("wal") is not None else None,
         )
 
 
@@ -603,6 +642,7 @@ def ok_envelope(**fields: Any) -> Dict[str, Any]:
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
+    "ERROR_CODES",
     "ProtocolError",
     "SEARCH_METHODS",
     "build_search",

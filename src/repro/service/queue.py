@@ -15,11 +15,19 @@ implements the micro-batching window — pop one job, then keep draining
 until either ``max_batch`` jobs are in hand or ``window`` seconds passed
 without the batch filling.  Queue depth is published as the
 ``service.queue.depth`` gauge on every transition.
+
+Under overload the queue can also *shed*: when a higher-priority request
+arrives at a full queue, the lowest-priority (youngest-within-priority)
+queued job is evicted and failed with :class:`ShedError` — a third typed
+failure mode alongside admission and backpressure, carrying its own
+``retry_after`` hint — so important work displaces less important work
+instead of being bounced (``service.queue.shed`` counter).
 """
 
 from __future__ import annotations
 
 import asyncio
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -38,6 +46,18 @@ class BackpressureError(Exception):
     def __init__(self, message: str, *, retry_after: float = 0.5):
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class ShedError(BackpressureError):
+    """This queued request was evicted to admit higher-priority work.
+
+    Raised *into the shed job's future*, not at the submitter of the new
+    job: under overload the queue keeps the most important work and the
+    displaced client gets an explicit typed error (code ``"shed"``) with
+    a ``retry_after`` hint — never silent loss.
+    """
+
+    code = "shed"
 
 
 @dataclass(frozen=True)
@@ -126,16 +146,58 @@ class JobQueue:
         """Jobs currently waiting (excludes in-flight batches)."""
         return self._queue.qsize()
 
-    def put_nowait(self, job: Job) -> None:
-        """Enqueue or raise :class:`BackpressureError` when at capacity."""
+    def put_nowait(self, job: Job, *, shed: bool = False) -> Optional[Job]:
+        """Enqueue ``job``; under overload, optionally shed lower-priority work.
+
+        At capacity with ``shed=False`` (the historical behaviour) this
+        raises :class:`BackpressureError` at the submitter.  With
+        ``shed=True`` the queue first looks for a victim of *strictly
+        lower* priority — the lowest-priority job, youngest within that
+        priority — evicts it to make room, and returns it so the caller
+        can fail its future with :class:`ShedError`.  When every queued
+        job has priority >= the newcomer's, the newcomer is the loser and
+        :class:`BackpressureError` is raised as before.  Returns ``None``
+        when nothing was shed.
+        """
+        victim: Optional[Job] = None
         try:
             self._queue.put_nowait((-job.priority, next(self._arrival), job))
         except asyncio.QueueFull:
-            raise BackpressureError(
-                f"the service has {self.max_pending} requests pending; "
-                "retry later",
-            ) from None
+            if shed:
+                victim = self._evict_lowest(job.priority)
+            if victim is None:
+                raise BackpressureError(
+                    f"the service has {self.max_pending} requests pending; "
+                    "retry later",
+                ) from None
+            _metrics.inc("service.queue.shed")
+            self._queue.put_nowait((-job.priority, next(self._arrival), job))
         _metrics.set_gauge("service.queue.depth", self.depth)
+        return victim
+
+    def _evict_lowest(self, above_priority: int) -> Optional[Job]:
+        """Remove the worst queued job strictly below ``above_priority``.
+
+        "Worst" = lowest priority, then youngest arrival (the job that
+        has waited least loses the tie).  Reaches into the underlying
+        heap — sound because everything runs on the event loop, and the
+        heap invariant is restored with ``heapify``.
+        """
+        heap = self._queue._queue  # list of (-priority, arrival, job)
+        worst_index = None
+        for index, (neg_priority, arrival, _) in enumerate(heap):
+            if -neg_priority >= above_priority:
+                continue
+            if worst_index is None or (neg_priority, arrival) > (
+                    heap[worst_index][0], heap[worst_index][1]):
+                worst_index = index
+        if worst_index is None:
+            return None
+        _, _, victim = heap.pop(worst_index)
+        heapq.heapify(heap)
+        # PriorityQueue tracks size through get(); mirror its accounting.
+        self._queue._unfinished_tasks -= 1
+        return victim
 
     async def get(self) -> Job:
         """Wait for and pop the highest-priority job."""
@@ -194,4 +256,5 @@ __all__ = [
     "BackpressureError",
     "Job",
     "JobQueue",
+    "ShedError",
 ]

@@ -28,6 +28,19 @@ Sandbox resilience: when the platform cannot run a process pool at all
 (``fork`` forbidden), execution transparently falls back to a thread —
 same results by purity of :func:`execute_batch`, just no process
 isolation.
+
+Self-healing (PR 7): the worker path runs under a
+:class:`~repro.service.supervisor.PoolSupervisor` — per-batch deadlines,
+automatic restart and re-dispatch after worker crashes, an idle-pool
+heartbeat, and a circuit breaker that flips the daemon into degraded
+mode (typed ``degraded`` rejects with ``retry_after``) when the pool
+crash-loops.  With ``wal_path`` set, every accepted request is journaled
+fsync-durably *before* it is queued (:mod:`repro.service.wal`) and
+replayed through the normal queue path on restart, so a daemon kill
+never silently loses accepted work.  The invariant the chaos harness
+(:mod:`repro.chaos`) enforces: every accepted request terminates with a
+byte-identical correct reply or an explicit typed error — never a hang,
+never silent loss.
 """
 
 from __future__ import annotations
@@ -37,9 +50,8 @@ import contextlib
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
-
-from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
@@ -61,11 +73,41 @@ from repro.service.queue import (
     BackpressureError,
     Job,
     JobQueue,
+    ShedError,
 )
 from repro.service.store import ResultStore
+from repro.service.supervisor import (
+    BreakerConfig,
+    CircuitBreaker,
+    PoolSupervisor,
+)
+from repro.service.wal import WriteAheadLog
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7421
+
+
+class ServiceStartupError(RuntimeError):
+    """The daemon failed to come up (bind failure, startup hang, …)."""
+
+
+def _default_executor(seq: int, payloads: List[Dict[str, Any]],
+                      cold: bool) -> List[Dict[str, Any]]:
+    """The production batch executor: :func:`execute_batch`, seq ignored.
+
+    The ``seq`` argument is the daemon's monotonically increasing batch
+    sequence number; the default executor ignores it, the chaos harness's
+    :class:`~repro.chaos.inject.ChaoticExecutor` keys its deterministic
+    fault plan on it.  Must stay a top-level function — it crosses the
+    process-pool pickle boundary.
+    """
+    return execute_batch(payloads, cold)
+
+
+def _swallow_future_exception(future: "asyncio.Future") -> None:
+    """Done-callback that consumes a future's exception (replay path)."""
+    if not future.cancelled():
+        future.exception()
 
 
 @dataclass
@@ -92,6 +134,16 @@ class ServiceConfig:
     batching: bool = True
     dedup: bool = True
     cold: bool = False                # bench baseline: per-request cache clear
+    # --- self-healing knobs (PR 7) ---------------------------------- #
+    request_deadline: Optional[float] = None   # s per batch attempt; None=off
+    max_redispatch: int = 2           # crash re-dispatch budget per batch
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    heartbeat_interval: Optional[float] = None  # s between idle probes
+    heartbeat_timeout: float = 10.0
+    shed: bool = True                 # priority-aware eviction when full
+    wal_path: Optional[Union[str, Path]] = None  # accepted-request journal
+    executor: Callable[[int, List[Dict[str, Any]], bool],
+                       List[Dict[str, Any]]] = _default_executor
 
 
 class SchedulerService:
@@ -111,12 +163,23 @@ class SchedulerService:
         self._inflight: Dict[str, asyncio.Future] = {}
         self._stop_event: Optional[asyncio.Event] = None
         self._started_at = 0.0
-        self._use_threads = False     # set when process pools are unavailable
+        self.supervisor = PoolSupervisor(
+            self.pool,
+            deadline=self.config.request_deadline,
+            max_redispatch=self.config.max_redispatch,
+            breaker=CircuitBreaker(self.config.breaker),
+            heartbeat_interval=self.config.heartbeat_interval,
+            heartbeat_timeout=self.config.heartbeat_timeout,
+        )
+        self.wal: Optional[WriteAheadLog] = None     # opened on start()
+        self._batch_seq = 0
         self._counters: Dict[str, int] = {
             "requests": 0,
             "served_computed": 0, "served_store": 0, "served_inflight": 0,
             "rejected_backpressure": 0, "rejected_admission": 0,
             "rejected_protocol": 0, "failed": 0,
+            "rejected_shed": 0, "rejected_degraded": 0, "deadline": 0,
+            "replayed": 0,
             "batches": 0, "batched_requests": 0, "max_batch": 0,
         }
 
@@ -143,9 +206,63 @@ class SchedulerService:
         self.address = self._server.sockets[0].getsockname()[:2]
         self._started_at = time.monotonic()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        await self.supervisor.start()
+        if self.config.wal_path is not None:
+            self.wal = WriteAheadLog(self.config.wal_path)
+            await self._replay_wal()
         _trace.event("service.started", host=self.address[0],
                      port=self.address[1], workers=self.pool.workers)
         return self.address
+
+    async def _replay_wal(self) -> None:
+        """Re-queue every accepted-but-unreplied request from the journal.
+
+        Replayed jobs flow through the normal queue path with internal
+        futures: results land in the store (and settle the journal) just
+        like live traffic, so a client re-asking for a fingerprint its
+        killed daemon had accepted gets the byte-identical reply from
+        the store.  Requires ``dedup`` (the store *is* the redelivery
+        channel); replay is skipped — with a warning event — without it.
+        """
+        pending = self.wal.pending()
+        if not pending:
+            return
+        if not self.config.dedup:
+            _trace.event("service.wal.replay_skipped",
+                         reason="dedup disabled", pending=len(pending))
+            return
+        loop = asyncio.get_running_loop()
+        replayed = 0
+        for item in pending:
+            try:
+                request = ScheduleRequest.from_dict(item["payload"])
+            except ProtocolError:
+                # A journal entry this build can no longer parse: settle
+                # it rather than crash-loop on every restart.
+                self.wal.append_done(item["fp"])
+                continue
+            fingerprint = item["fp"]
+            if self.store.get(fingerprint) is not None:
+                self.wal.append_done(fingerprint)
+                continue
+            future = loop.create_future()
+            job = Job(request=request, payload=request.to_dict(),
+                      fingerprint=fingerprint, future=future,
+                      priority=item["priority"])
+            try:
+                self.queue.put_nowait(job)
+            except BackpressureError:   # pragma: no cover - tiny queues
+                break
+            self._inflight[fingerprint] = future
+            future.add_done_callback(
+                lambda _f, fp=fingerprint: self._inflight.pop(fp, None))
+            # No client awaits a replayed future; retrieve its outcome so
+            # a failure cannot surface as an "exception never retrieved".
+            future.add_done_callback(_swallow_future_exception)
+            replayed += 1
+        self._counters["replayed"] = replayed
+        _metrics.inc("service.wal.replays", replayed)
+        _trace.event("service.wal.replayed", count=replayed)
 
     def request_stop(self) -> None:
         """Signal the daemon to stop (safe from any thread via its loop)."""
@@ -159,6 +276,7 @@ class SchedulerService:
 
     async def stop(self) -> None:
         """Stop accepting, fail queued work, close the pool (reaping it)."""
+        await self.supervisor.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -188,6 +306,11 @@ class SchedulerService:
         # Pool close waits for in-flight jobs; do it off-loop so a long
         # job cannot wedge the shutdown path.
         await asyncio.get_running_loop().run_in_executor(None, self.pool.close)
+        if self.wal is not None:
+            # Queued-but-unreplied requests stay journaled: the next
+            # incarnation replays them.  Close drains and fsyncs.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.wal.close)
         _trace.event("service.stopped")
 
     # -------------------------------------------------------------- #
@@ -234,6 +357,9 @@ class SchedulerService:
         except Exception as exc:
             self._counters["failed"] += group.total
             for entry in group.entries:
+                # The client gets an explicit typed error — the request
+                # is settled, so the journal entry is too.
+                self._wal_done(entry[0].fingerprint)
                 for job in entry:
                     if not job.future.done():
                         job.future.set_exception(exc)
@@ -241,32 +367,27 @@ class SchedulerService:
         for entry, result in zip(group.entries, results):
             if self.config.dedup:
                 self.store.put(entry[0].fingerprint, result)
+            self._wal_done(entry[0].fingerprint)
             for job in entry:
                 if not job.future.done():
                     job.future.set_result((result, served))
 
+    def _wal_done(self, fingerprint: str) -> None:
+        """Settle a journal entry once its request has a definite outcome."""
+        if self.wal is not None:
+            self.wal.append_done(fingerprint)
+
     async def _execute(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        """Run one batch on the persistent pool (thread fallback if none)."""
-        loop = asyncio.get_running_loop()
-        if not self._use_threads:
-            try:
-                future = self.pool.submit(execute_batch, payloads,
-                                          self.config.cold)
-                return await asyncio.wrap_future(future)
-            except (OSError, RuntimeError, BrokenProcessPool) as exc:
-                # One retry on a fresh pool, then settle on threads: a
-                # sandbox that cannot fork will not learn to overnight.
-                self.pool.restart()
-                try:
-                    future = self.pool.submit(execute_batch, payloads,
-                                              self.config.cold)
-                    return await asyncio.wrap_future(future)
-                except (OSError, RuntimeError, BrokenProcessPool):
-                    self._use_threads = True
-                    _trace.event("service.pool.thread_fallback",
-                                 error=repr(exc))
-        return await loop.run_in_executor(None, execute_batch, payloads,
-                                          self.config.cold)
+        """Run one batch under supervision (deadline, restart, re-dispatch).
+
+        Delegates the resilience policy — per-attempt deadline, restart +
+        re-dispatch on worker crashes, circuit-breaker accounting and the
+        sandbox thread fallback — to the :class:`PoolSupervisor`; failures
+        surface as its typed errors and are mapped to typed error replies.
+        """
+        self._batch_seq += 1
+        return await self.supervisor.run(
+            self.config.executor, self._batch_seq, payloads, self.config.cold)
 
     # -------------------------------------------------------------- #
     # connection handling
@@ -363,33 +484,106 @@ class SchedulerService:
                 self._counters["rejected_admission"] += 1
                 sp.set(served="rejected")
                 return error_envelope("rejected", str(exc))
+            retry_after = self.supervisor.breaker.reject_after()
+            if retry_after is not None:
+                # Degraded mode: the worker path is crash-looping; reject
+                # new work with a hint instead of queueing doomed batches.
+                self._counters["rejected_degraded"] += 1
+                sp.set(served="degraded")
+                return error_envelope(
+                    "degraded",
+                    "the service is degraded (worker path failing); "
+                    "retry later",
+                    retry_after=round(retry_after, 3))
             future = asyncio.get_running_loop().create_future()
             job = Job(request=request, payload=request.to_dict(),
                       fingerprint=fingerprint, future=future,
                       priority=request.priority)
             try:
-                self.queue.put_nowait(job)
+                victim = self.queue.put_nowait(job, shed=self.config.shed)
             except BackpressureError as exc:
                 self._counters["rejected_backpressure"] += 1
                 sp.set(served="backpressure")
                 return error_envelope("backpressure", str(exc),
                                       retry_after=exc.retry_after)
+            if victim is not None:
+                # A lower-priority queued job made room: fail it with a
+                # typed shed error (its waiters get retry_after) and
+                # settle its journal entry — an explicit outcome, not
+                # silent loss.
+                self._counters["rejected_shed"] += 1
+                sp.set(shed=victim.fingerprint[:12])
+                self._wal_done(victim.fingerprint)
+                if not victim.future.done():
+                    victim.future.set_exception(ShedError(
+                        "evicted by a higher-priority request; retry later"))
+            # Journal *after* the queue admitted the job but *before* any
+            # reply: a request is only observably accepted once the client
+            # hears back, and by then the accept record is fsync-durable.
+            if self.wal is not None:
+                await asyncio.wrap_future(self.wal.append_accept(
+                    fingerprint, job.payload, request.priority))
             if self.config.dedup:
                 self._inflight[fingerprint] = future
                 future.add_done_callback(
                     lambda _f, fp=fingerprint: self._inflight.pop(fp, None))
             if not wait:
+                # Nobody awaits a ticketed future directly (results are
+                # read back through the store), so mark any terminal
+                # exception retrieved to keep shutdown logs clean.
+                future.add_done_callback(_swallow_future_exception)
                 return ok_envelope(ticket=fingerprint, status="queued")
             sp.set(served="computed")
             return await self._await_future(future, "computed")
 
+    def _reply_timeout(self) -> Optional[float]:
+        """Absolute never-hang bound on one submit's reply future.
+
+        The supervisor's per-attempt deadline normally resolves the
+        future first (with a typed error); this backstop covers the
+        pathological remainder — a wedged dispatcher, a future nothing
+        will ever complete — so a waiting client always hears *something*
+        within a bounded time.  ``None`` (no deadline configured) keeps
+        the historical wait-forever behaviour.
+        """
+        deadline = self.config.request_deadline
+        if deadline is None:
+            return None
+        return deadline * (self.config.max_redispatch + 2) + 30.0
+
+    def _error_reply(self, exc: BaseException) -> Dict[str, Any]:
+        """Map an exception to a typed error envelope (+ counters)."""
+        code = getattr(exc, "code", None) or "failed"
+        extra: Dict[str, Any] = {}
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            extra["retry_after"] = round(float(retry_after), 3)
+        if code == "shed":
+            pass          # counted at shed time, not per waiter
+        elif code == "degraded":
+            self._counters["rejected_degraded"] += 1
+        elif code == "deadline":
+            self._counters["deadline"] += 1
+        else:
+            self._counters["failed"] += 1
+        message = str(exc) or type(exc).__name__
+        if code == "failed":
+            message = f"{type(exc).__name__}: {exc}"
+        return error_envelope(code, message, **extra)
+
     async def _await_future(self, future: "asyncio.Future",
                             source: str) -> Dict[str, Any]:
         try:
-            result, served = await asyncio.shield(future)
+            result, served = await asyncio.wait_for(
+                asyncio.shield(future), self._reply_timeout())
+        except asyncio.TimeoutError:
+            self._counters["deadline"] += 1
+            return error_envelope(
+                "deadline",
+                "no result within the service's reply bound; the request "
+                "was dropped")
         except Exception as exc:
-            self._counters["failed"] += 1
-            return error_envelope("failed", f"{type(exc).__name__}: {exc}")
+            return self._error_reply(exc)
         if source == "inflight":
             self._counters["served_inflight"] += 1
             served = {**served, "from": "inflight"}
@@ -440,6 +634,9 @@ class SchedulerService:
                 "admission": c["rejected_admission"],
                 "protocol": c["rejected_protocol"],
                 "failed": c["failed"],
+                "shed": c["rejected_shed"],
+                "degraded": c["rejected_degraded"],
+                "deadline": c["deadline"],
             },
             queue_depth=self.queue.depth if self.queue is not None else 0,
             queue_capacity=self.config.max_pending,
@@ -450,11 +647,12 @@ class SchedulerService:
                 "misses": store_stats.misses,
                 "evictions": store_stats.evictions,
                 "expirations": store_stats.expirations,
+                "corruptions": store_stats.corruptions,
             },
             pool={
                 "workers": self.pool.workers,
                 "active": self.pool.active,
-                "thread_fallback": self._use_threads,
+                "thread_fallback": self.supervisor.thread_fallback,
             },
             batches={
                 "count": batches,
@@ -463,6 +661,8 @@ class SchedulerService:
                               if batches else None),
                 "max_size": c["max_batch"],
             },
+            supervisor=self.supervisor.status(),
+            wal=(self.wal.status() if self.wal is not None else None),
         )
 
 
@@ -522,7 +722,7 @@ def running_service(config: Optional[ServiceConfig] = None):
         except BaseException as exc:  # bind failures surface to the caller
             failure.append(exc)
             started.set()
-            raise
+            return  # quiet thread exit; the caller raises typed below
         loop_holder["loop"] = asyncio.get_running_loop()
         started.set()
         await service.serve_until_stopped()
@@ -530,11 +730,20 @@ def running_service(config: Optional[ServiceConfig] = None):
     thread = threading.Thread(target=lambda: asyncio.run(_main()),
                               name="repro-service", daemon=True)
     thread.start()
-    started.wait(timeout=30.0)
+    came_up = started.wait(timeout=30.0)
     if failure:
-        raise failure[0]
-    if service.address is None:
-        raise RuntimeError("service failed to start within 30s")
+        thread.join(timeout=5.0)
+        raise ServiceStartupError(
+            f"service failed to start: {failure[0]!r}") from failure[0]
+    if not came_up or service.address is None:
+        # The daemon never signalled readiness: don't proceed against a
+        # half-started service — stop it, reap the thread, raise typed.
+        service.request_stop()
+        thread.join(timeout=10.0)
+        raise ServiceStartupError(
+            "service did not come up within 30s"
+            + (" (startup thread still running)" if thread.is_alive() else "")
+        )
     try:
         yield service
     finally:
@@ -548,6 +757,7 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "ServiceConfig",
+    "ServiceStartupError",
     "SchedulerService",
     "run_service",
     "running_service",

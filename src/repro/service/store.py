@@ -11,12 +11,22 @@ growth.
 Expiry uses an injectable monotonic clock so tests can step time instead
 of sleeping; capacity eviction is LRU.  All counters are mirrored to the
 active :class:`~repro.obs.metrics.MetricsRegistry` as
-``service.store.{hits,misses,evictions,expirations}`` (no-ops when
-telemetry is off).
+``service.store.{hits,misses,evictions,expirations,corruptions}``
+(no-ops when telemetry is off).
+
+Every entry carries an integrity digest — a SHA-256 over its canonical
+JSON, computed at :meth:`ResultStore.put` and re-verified at every
+:meth:`ResultStore.get`.  A value mutated behind the store's back (chaos
+injection, a buggy in-process caller sharing the dict) is detected,
+dropped and counted instead of served: a corrupted cache degrades to a
+miss and the daemon recomputes, preserving the byte-identical-reply
+invariant.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
 from collections import OrderedDict
@@ -24,6 +34,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.obs import metrics as _metrics
+
+
+def _digest(value: Dict[str, Any]) -> str:
+    """SHA-256 of the canonical JSON of ``value`` (sorted keys)."""
+    blob = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -36,6 +52,7 @@ class StoreStats:
     misses: int
     evictions: int
     expirations: int
+    corruptions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -66,28 +83,40 @@ class ResultStore:
         self.ttl = ttl
         self.max_entries = int(max_entries)
         self._clock = clock
-        self._entries: "OrderedDict[str, Tuple[float, Dict[str, Any]]]" = \
+        self._entries: \
+            "OrderedDict[str, Tuple[float, Dict[str, Any], str]]" = \
             OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
+        self._corruptions = 0
 
     # -------------------------------------------------------------- #
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored response for ``key``, or ``None`` (missing/expired)."""
+        """The stored response for ``key``, or ``None``.
+
+        ``None`` covers missing, expired *and corrupted*: the entry's
+        integrity digest is re-verified on every hit, and a value that no
+        longer hashes to what was stored is dropped (and counted as a
+        corruption) rather than served — the caller recomputes.
+        """
         now = self._clock()
         with self._lock:
             entry = self._entries.get(key)
+            expired = corrupt = False
             if entry is not None and self._expired(entry[0], now):
                 del self._entries[key]
                 self._expirations += 1
                 entry = None
                 expired = True
-            else:
-                expired = False
+            if entry is not None and _digest(entry[1]) != entry[2]:
+                del self._entries[key]
+                self._corruptions += 1
+                entry = None
+                corrupt = True
             if entry is None:
                 self._misses += 1
             else:
@@ -95,15 +124,22 @@ class ResultStore:
                 self._entries.move_to_end(key)
         if expired:
             _metrics.inc("service.store.expirations")
+        if corrupt:
+            _metrics.inc("service.store.corruptions")
         _metrics.inc(f"service.store.{'misses' if entry is None else 'hits'}")
         return entry[1] if entry is not None else None
 
     def put(self, key: str, value: Dict[str, Any]) -> None:
-        """Store (or refresh) ``key``; evicts LRU entries beyond capacity."""
+        """Store (or refresh) ``key``; evicts LRU entries beyond capacity.
+
+        The value's integrity digest is computed here and pinned to the
+        entry; :meth:`get` re-verifies it before serving.
+        """
         now = self._clock()
         evicted = 0
+        digest = _digest(value)
         with self._lock:
-            self._entries[key] = (now, value)
+            self._entries[key] = (now, value, digest)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
@@ -118,7 +154,7 @@ class ResultStore:
             return 0
         now = self._clock()
         with self._lock:
-            dead = [k for k, (t, _) in self._entries.items()
+            dead = [k for k, (t, _, _) in self._entries.items()
                     if self._expired(t, now)]
             for k in dead:
                 del self._entries[k]
@@ -148,7 +184,7 @@ class ResultStore:
             return entry is not None and not self._expired(entry[0], now)
 
     def stats(self) -> StoreStats:
-        """Snapshot of size and hit/miss/eviction/expiration counters."""
+        """Snapshot of size and the hit/miss/evict/expire/corrupt counters."""
         with self._lock:
             return StoreStats(
                 size=len(self._entries),
@@ -157,6 +193,7 @@ class ResultStore:
                 misses=self._misses,
                 evictions=self._evictions,
                 expirations=self._expirations,
+                corruptions=self._corruptions,
             )
 
     def __repr__(self) -> str:

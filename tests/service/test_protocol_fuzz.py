@@ -1,0 +1,132 @@
+"""Property-based fuzzing of the wire protocol (Hypothesis, gated).
+
+The contract under fuzz: every byte sequence fed to :func:`decode_line`
+and every JSON value fed to :func:`ScheduleRequest.from_dict` either
+parses cleanly or raises :class:`ProtocolError` — never a bare
+``KeyError``/``TypeError``/``AttributeError`` escaping from parsing, and
+never a hang.  This is the same promise the chaos harness checks over a
+live socket (``torn_frames``), pinned here at the unit level where
+Hypothesis can shrink counterexamples.
+
+Skips cleanly when Hypothesis is not installed (the suite must not
+acquire a hard dependency for one module).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.service.protocol import (  # noqa: E402
+    MAX_LINE_BYTES,
+    ProtocolError,
+    ScheduleRequest,
+    decode_line,
+    encode_line,
+)
+from repro.topology.irregular import random_irregular_topology  # noqa: E402
+
+FUZZ = settings(max_examples=150, deadline=None)
+
+
+def valid_frame() -> bytes:
+    topo = random_irregular_topology(8, seed=11, name="fuzz8")
+    request = ScheduleRequest.build(topo, clusters=4, method="tabu", seed=3)
+    return encode_line({"op": "submit", "request": request.to_dict()})
+
+
+VALID_FRAME = valid_frame()
+VALID_REQUEST_DICT = json.loads(VALID_FRAME)["request"]
+
+# JSON-ish values: scalars, and nested lists/dicts thereof.
+json_values = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(min_value=-2**40, max_value=2**40)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40),
+    lambda children: (st.lists(children, max_size=5)
+                      | st.dictionaries(st.text(max_size=15), children,
+                                        max_size=5)),
+    max_leaves=25,
+)
+
+
+class TestDecodeLineTotal:
+    @FUZZ
+    @given(raw=st.binary(max_size=2048))
+    def test_arbitrary_bytes_parse_or_raise_typed(self, raw):
+        try:
+            out = decode_line(raw)
+        except ProtocolError:
+            return
+        assert isinstance(out, dict)
+
+    @FUZZ
+    @given(data=st.data())
+    def test_mutated_valid_frames_parse_or_raise_typed(self, data):
+        body = bytearray(VALID_FRAME)
+        kind = data.draw(st.sampled_from(["flip", "truncate", "splice",
+                                          "insert"]))
+        if kind == "flip":
+            i = data.draw(st.integers(0, len(body) - 1))
+            body[i] ^= data.draw(st.integers(1, 255))
+        elif kind == "truncate":
+            body = body[:data.draw(st.integers(0, len(body) - 1))]
+        elif kind == "splice":
+            cut = data.draw(st.integers(1, len(body) - 1))
+            body = body[cut:] + body[:cut]
+        else:
+            i = data.draw(st.integers(0, len(body)))
+            body[i:i] = data.draw(st.binary(min_size=1, max_size=16))
+        try:
+            out = decode_line(bytes(body))
+        except ProtocolError:
+            return
+        assert isinstance(out, dict)
+
+    def test_oversized_frames_are_rejected_typed(self):
+        with pytest.raises(ProtocolError, match="frame limit"):
+            decode_line(b"x" * (MAX_LINE_BYTES + 1))
+
+
+class TestFromDictTotal:
+    @FUZZ
+    @given(value=json_values)
+    def test_arbitrary_json_values_never_escape_untyped(self, value):
+        try:
+            request = ScheduleRequest.from_dict(value)
+        except ProtocolError:
+            return
+        assert isinstance(request, ScheduleRequest)
+
+    @FUZZ
+    @given(data=st.data())
+    def test_damaged_valid_requests_never_escape_untyped(self, data):
+        payload = json.loads(json.dumps(VALID_REQUEST_DICT))
+        key = data.draw(st.sampled_from(sorted(payload)))
+        action = data.draw(st.sampled_from(["drop", "replace", "add"]))
+        if action == "drop":
+            del payload[key]
+        elif action == "replace":
+            payload[key] = data.draw(json_values)
+        else:
+            payload[data.draw(st.text(min_size=1, max_size=12))] = \
+                data.draw(json_values)
+        try:
+            request = ScheduleRequest.from_dict(payload)
+        except ProtocolError:
+            return
+        # Benign damage (e.g. replacing a field with an equal value, or
+        # re-adding an existing key) may still parse — that must yield a
+        # real request, not a half-built object.
+        assert isinstance(request, ScheduleRequest)
+        assert request.fingerprint()
+
+    def test_the_unmutated_request_round_trips(self):
+        request = ScheduleRequest.from_dict(VALID_REQUEST_DICT)
+        again = ScheduleRequest.from_dict(request.to_dict())
+        assert again.fingerprint() == request.fingerprint()

@@ -10,10 +10,13 @@ import repro.parallel as parallel_mod
 from repro.checkpoint import SweepCheckpoint
 from repro.obs.sinks import MemorySink
 from repro.obs.trace import Tracer, use_tracer
+import random
+
 from repro.parallel import (
     WORKERS_ENV,
     JobTimeoutError,
     _backoff_delay,
+    backoff_delay,
     detect_workers,
     parallel_map,
     parallel_starmap,
@@ -173,10 +176,33 @@ class TestPartialRecovery:
 
 
 class TestRetries:
-    def test_backoff_schedule_is_capped(self):
-        assert _backoff_delay(0) == pytest.approx(parallel_mod.BACKOFF_BASE)
-        assert _backoff_delay(1) == pytest.approx(2 * parallel_mod.BACKOFF_BASE)
-        assert _backoff_delay(50) == parallel_mod.BACKOFF_CAP
+    def test_backoff_delay_is_full_jitter_within_bounds(self):
+        # Full jitter: uniform in [0, min(cap, base * 2**attempt)].  The
+        # distribution check: every draw respects the ceiling, draws for
+        # the same attempt differ (decorrelation), and the ceiling grows
+        # exponentially until the cap clamps it.
+        base, cap = parallel_mod.BACKOFF_BASE, parallel_mod.BACKOFF_CAP
+        for attempt in range(8):
+            ceiling = min(cap, base * 2 ** attempt)
+            draws = [backoff_delay(attempt) for _ in range(200)]
+            assert all(0.0 <= d <= ceiling for d in draws)
+            assert len(set(draws)) > 1          # jittered, not a schedule
+            assert max(draws) > 0.5 * ceiling   # spans the range
+
+    def test_backoff_delay_hard_cap_for_any_attempt(self):
+        for attempt in (20, 50, 500):
+            assert 0.0 <= backoff_delay(attempt) <= parallel_mod.BACKOFF_CAP
+
+    def test_backoff_delay_seeded_rng_is_reproducible(self):
+        a = [backoff_delay(k, rng=random.Random(7)) for k in range(5)]
+        b = [backoff_delay(k, rng=random.Random(7)) for k in range(5)]
+        assert a == b
+
+    def test_backoff_delay_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="attempt"):
+            backoff_delay(-1)
+        with pytest.raises(ValueError, match="base and cap"):
+            backoff_delay(0, base=-0.1)
 
     def test_serial_retries_until_success(self, monkeypatch):
         sleeps = []
@@ -184,7 +210,10 @@ class TestRetries:
         fn = _FlakyThenOk(failures=2)
         assert parallel_map(fn, [3], workers=1, retries=2) == [9]
         assert fn.calls == 3
-        assert sleeps == [_backoff_delay(0), _backoff_delay(1)]
+        base = parallel_mod.BACKOFF_BASE
+        assert len(sleeps) == 2
+        assert 0.0 <= sleeps[0] <= base
+        assert 0.0 <= sleeps[1] <= 2 * base
 
     def test_serial_retries_exhausted_raises(self, monkeypatch):
         monkeypatch.setattr(parallel_mod, "_sleep", lambda s: None)
@@ -253,9 +282,10 @@ class TestLifecycleEvents:
             parallel_map(fn, [3], workers=1, retries=2)
         retries = sink.by_name("parallel.job.retry")
         assert [e["attrs"]["attempt"] for e in retries] == [1, 2]
-        assert [e["attrs"]["delay_seconds"] for e in retries] == [
-            _backoff_delay(0), _backoff_delay(1)
-        ]
+        base = parallel_mod.BACKOFF_BASE
+        delays = [e["attrs"]["delay_seconds"] for e in retries]
+        assert 0.0 <= delays[0] <= base
+        assert 0.0 <= delays[1] <= 2 * base
         assert all("transient failure" in e["attrs"]["error"]
                    for e in retries)
         assert all(e["attrs"]["retries"] == 2 for e in retries)
