@@ -541,9 +541,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--measure", type=int, default=1200)
     p.add_argument("--engine", default="fast",
                    choices=list(ENGINE_NAMES),
-                   help="simulator engine (bit-identical; 'fast' is the "
-                        "struct-of-arrays kernel, 'reference' the "
-                        "per-message model)")
+                   help="simulator engine ('reference'/'fast'/'batch' are "
+                        "bit-identical; 'vector' is the many-seed kernel "
+                        "under the statistical-equivalence contract)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("metrics", help="classical topology metrics")

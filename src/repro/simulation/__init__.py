@@ -35,12 +35,17 @@ from repro.simulation.traffic import (
 )
 from repro.simulation.network import WormholeNetworkSimulator
 from repro.simulation.engine import (
+    BIT_IDENTICAL_ENGINES,
     ENGINE_NAMES,
     EnginePerf,
     canonical_payload,
     make_simulator,
 )
 from repro.simulation.engine_fast import FastWormholeNetworkSimulator
+from repro.simulation.engine_vector import (
+    VectorWormholeNetworkSimulator,
+    simulate_batch_vector,
+)
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.sweep import (
     LoadPoint,
@@ -63,6 +68,9 @@ __all__ = [
     "HotspotTraffic",
     "WormholeNetworkSimulator",
     "FastWormholeNetworkSimulator",
+    "VectorWormholeNetworkSimulator",
+    "simulate_batch_vector",
+    "BIT_IDENTICAL_ENGINES",
     "ENGINE_NAMES",
     "EnginePerf",
     "canonical_payload",

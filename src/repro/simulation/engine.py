@@ -39,7 +39,13 @@ from repro.simulation.metrics import SimulationResult
 from repro.simulation.traffic import TrafficPattern
 
 #: Engine names accepted by ``SimulationConfig.engine``.
-ENGINE_NAMES = ("reference", "fast", "batch")
+#: ``reference``/``fast``/``batch`` are bit-identical to each other;
+#: ``vector`` is deterministic per seed but only statistically
+#: equivalent (see :mod:`repro.simulation.equivalence`).
+ENGINE_NAMES = ("reference", "fast", "batch", "vector")
+
+#: The subset of :data:`ENGINE_NAMES` under the bit-identical contract.
+BIT_IDENTICAL_ENGINES = ("reference", "fast", "batch")
 
 
 @dataclass
@@ -126,9 +132,12 @@ def make_simulator(routing_table, traffic: TrafficPattern,
                    config: SimulationConfig = SimulationConfig()):
     """Build the engine selected by ``config.engine``.
 
-    The returned object satisfies :class:`NetworkEngine`; results are
-    bit-identical across engines, so callers may treat the choice purely
-    as a performance knob.
+    The returned object satisfies :class:`NetworkEngine`.  Results are
+    bit-identical across the ``reference``/``fast``/``batch`` engines, so
+    within that tier the choice is purely a performance knob; the opt-in
+    ``vector`` engine is deterministic per seed but relaxes the contract
+    to statistical equivalence (validated by the equivalence suite) in
+    exchange for numpy vectorization across replications.
     """
     if config.engine == "reference":
         from repro.simulation.network import WormholeNetworkSimulator
@@ -145,6 +154,11 @@ def make_simulator(routing_table, traffic: TrafficPattern,
 
         return build_batch_simulator(routing_table, traffic,
                                      injection_rate, config)
+    if config.engine == "vector":
+        from repro.simulation.engine_vector import build_vector_simulator
+
+        return build_vector_simulator(routing_table, traffic,
+                                      injection_rate, config)
     raise ValueError(
         f"unknown engine {config.engine!r}; expected one of {ENGINE_NAMES}"
     )
@@ -212,6 +226,7 @@ def canonical_payload(result: SimulationResult) -> Dict[str, Any]:
 
 __all__ = [
     "ENGINE_NAMES",
+    "BIT_IDENTICAL_ENGINES",
     "EnginePerf",
     "NetworkEngine",
     "make_simulator",

@@ -154,11 +154,14 @@ class _BatchCore:
         self.NH = NH = topo.num_hosts
         self.NSW = NSW = topo.num_switches
         self._initial_phase = table.routing.initial_phase()
-        # Candidate caches shared across the batch, one per routing mode.
+        # Candidate caches shared across the batch — and, via the routing
+        # table, across every engine instance on this table (one store per
+        # (vcs, adaptive); the batch kernel is vcs == 1 only).
         self._cand_cache: Dict[bool, Dict[Tuple[int, Phase, int],
                                           Tuple[Tuple[int, int, Phase],
                                                 ...]]] = \
-            {True: {}, False: {}}
+            {True: table.candidate_cache(1, True),
+             False: table.candidate_cache(1, False)}
 
         # --- flattened per-replication state ----------------------------
         self.owner = [-1] * (R * C)           # gchan -> owning gslot
@@ -1267,9 +1270,20 @@ def simulate_batch(
     members solo cannot change any member's result — each member owns
     its own RNG stream and state partition, so this is structural, and
     the batch-composition property test pins it.
+
+    Dispatch: when every job's ``config.engine`` is ``"vector"`` the
+    batch runs on the numpy-vectorized kernel
+    (:func:`repro.simulation.engine_vector.simulate_batch_vector`),
+    which keeps per-member determinism and composition invariance but
+    relaxes bit-identity to statistical equivalence.  Any other mix of
+    engine names uses the bit-identical batch kernel.
     """
     jobs = list(jobs)
     check_batch_compatible(jobs)
+    if all(cfg.engine == "vector" for _t, _tr, _r, cfg in jobs):
+        from repro.simulation.engine_vector import simulate_batch_vector
+
+        return simulate_batch_vector(jobs)
     table = jobs[0][0]
     vcs = jobs[0][3].virtual_channels
     with _trace.span("engine.batch", engine="batch", members=len(jobs),

@@ -241,8 +241,12 @@ class FastWormholeNetworkSimulator:
 
         # (head_switch, phase, dst) -> ((cid, neighbor, phase), ...) in the
         # reference free-list construction order (hop-major, VC-minor).
+        # Shared across every engine instance on this routing table (the
+        # content is a pure function of table + vcs + adaptive), so a
+        # second simulator starts with the store already warm.
         self._cand_cache: Dict[Tuple[int, Phase, int],
-                               Tuple[Tuple[int, int, Phase], ...]] = {}
+                               Tuple[Tuple[int, int, Phase], ...]] = \
+            routing_table.candidate_cache(vcs, config.adaptive)
         # Per-slot memo of the current (head_switch, phase, dst) candidate
         # tuple, refreshed at injection and at every hop grant — the only
         # places the key can change — so the per-cycle arbitration scan

@@ -14,7 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple
 
 from repro.obs import trace as _trace
-from repro.parallel import WorkersLike, parallel_map
+from repro.parallel import WorkersLike, parallel_map, resolve_workers
 from repro.routing.tables import RoutingTable
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import make_simulator
@@ -66,6 +66,26 @@ def _simulate_point(job: _SweepJob) -> LoadPoint:
     return LoadPoint(index=index, rate=rate, result=sim.run())
 
 
+def _simulate_chunk(jobs: Sequence[_SweepJob]) -> List[LoadPoint]:
+    """Run a chunk of sweep points in one worker (one pickled job).
+
+    Batch-capable engines execute the whole chunk as a single
+    ``simulate_batch`` call; scalar engines loop the points in-process.
+    Either way the per-point seeds are the ones ``run_load_sweep``
+    derived, so results are independent of the chunking.
+    """
+    engine = jobs[0][4].engine
+    if engine in ("batch", "vector"):
+        from repro.simulation.engine_batch import simulate_batch
+
+        results = simulate_batch(
+            [(table, traffic, rate, cfg)
+             for table, traffic, _i, rate, cfg in jobs])
+        return [LoadPoint(index=i, rate=rate, result=res)
+                for (_t, _tr, i, rate, _c), res in zip(jobs, results)]
+    return [_simulate_point(job) for job in jobs]
+
+
 def run_load_sweep(
     table: RoutingTable,
     traffic: TrafficPattern,
@@ -86,32 +106,39 @@ def run_load_sweep(
     after the (possibly pooled) map returns, so the event stream is the
     same for serial and parallel runs.
 
-    With ``config.engine == "batch"`` the points are compatible
-    replications of one network by construction, so the whole ladder runs
-    as a single :func:`repro.simulation.engine_batch.simulate_batch` call
-    instead of point-at-a-time processes; per-point payloads are
-    bit-identical either way, so this is purely a performance path.
+    With ``config.engine`` in ``("batch", "vector")`` the points are
+    compatible replications of one network by construction, so a serial
+    sweep runs the whole ladder as a single
+    :func:`repro.simulation.engine_batch.simulate_batch` call instead of
+    point-at-a-time processes; per-point payloads are identical either
+    way (bit-identical for ``batch``; the composition-invariant vector
+    kernel for ``vector``), so this is purely a performance path.
+
+    Parallel sweeps dispatch *chunks*: the jobs are dealt round-robin
+    across ``workers`` chunks and each pool worker runs one chunk (a
+    single ``simulate_batch`` call for batch-capable engines, an
+    in-process loop otherwise).  One pickled job per worker instead of
+    one per point keeps pool overhead off the critical path; the
+    per-point seeds are derived before chunking, so results are
+    bit-identical to the serial order regardless of the chunk count.
     """
     jobs: List[_SweepJob] = [
         (table, traffic, i, rate,
          replace(config, seed=derive_seed(config.seed, "sweep", i)))
         for i, rate in enumerate(rates, start=1)
     ]
+    n_workers = resolve_workers(workers)
     with _trace.span("sweep.load", points=len(jobs),
                      engine=config.engine) as sp:
-        if config.engine == "batch":
-            from repro.simulation.engine_batch import simulate_batch
-
-            results = simulate_batch(
-                [(table, traffic, rate, cfg)
-                 for table, traffic, _i, rate, cfg in jobs]
-            )
-            points = [
-                LoadPoint(index=i, rate=rate, result=res)
-                for (_t, _tr, i, rate, _c), res in zip(jobs, results)
-            ]
+        if n_workers <= 1:
+            points = _simulate_chunk(jobs)
         else:
-            points = parallel_map(_simulate_point, jobs, workers=workers)
+            n_chunks = min(n_workers, len(jobs))
+            chunks = [jobs[k::n_chunks] for k in range(n_chunks)]
+            chunked = parallel_map(_simulate_chunk, chunks,
+                                   workers=n_workers)
+            points = sorted((p for chunk in chunked for p in chunk),
+                            key=lambda p: p.index)
         if _trace.current_tracer() is not None:
             for point in points:
                 _trace.event(

@@ -151,3 +151,20 @@ class TestSimulation:
             return json.dumps(out, sort_keys=True)
 
         assert respond("fast") == respond("batch")
+
+    def test_vector_engine_request_is_deterministic(self, make_request):
+        """``engine="vector"`` rides the same worker seam.
+
+        Vector responses are NOT byte-identical to the fast lineage
+        (statistical contract, DESIGN.md §6g), but the service's own
+        determinism guarantee still holds: the same request must produce
+        the same reply on every execution, warm or cold.
+        """
+        req = make_request(
+            seed=3,
+            simulate=SimulateSpec(points=3, warmup=10, measure=30,
+                                  engine="vector"))
+        a = execute_batch([req.to_dict()])[0]
+        b = execute_batch([req.to_dict()])[0]
+        assert a == b
+        assert len(a["simulation"]) == 3

@@ -86,6 +86,22 @@ class TestSimulateCommand:
         assert batch_out == fast_out
         assert "S3 acc" in batch_out
 
+    def test_engine_vector_flag_runs_the_sweep(self, capsys):
+        """--engine vector completes the same sweep; numbers may differ
+        from the bit-identical lineage (statistical contract, DESIGN.md
+        §6g) but the output shape must not."""
+        argv = [
+            "simulate", "--switches", "8", "--seed", "1", "--clusters", "2",
+            "--randoms", "0", "--points", "3", "--measure", "300",
+            "--warmup", "100", "--max-rate", "0.01",
+        ]
+        assert main(argv + ["--engine", "vector"]) == 0
+        first = capsys.readouterr().out
+        assert "S1 acc" in first and "S3 acc" in first
+        # Deterministic per seed: the same invocation reprints itself.
+        assert main(argv + ["--engine", "vector"]) == 0
+        assert capsys.readouterr().out == first
+
 
 class TestFiguresCommand:
     def test_fig2_and_fig4(self, capsys):
