@@ -1,0 +1,197 @@
+"""Benchmark: what the operator console costs the scheduling daemon.
+
+Drives the same closed-loop request mix against two live loopback
+daemons:
+
+* **console off**: the default ``ServiceConfig`` — the PR-8 fast path.
+* **console on**: the same config with ``console_port=0``, while a
+  scraper thread hammers ``/metrics`` and ``/status`` for the whole
+  run — the worst realistic observation load (a Prometheus scrape
+  interval is 10-60 s; this scrapes continuously).
+
+The console shares the daemon's event loop, so this measures exactly
+the contention the observability tier can introduce.  The bar: the
+scraped daemon finishes the identical workload within 3% wall-clock of
+the unobserved one (plus a small constant so short runs aren't judged
+on scheduler jitter), and every scrape returns valid Prometheus text
+exposition.  Writes ``benchmarks/BENCH_report.json``.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.obs.export import validate_exposition
+from repro.service import ScheduleRequest, ServiceClient, ServiceConfig, \
+    running_service
+from repro.topology.irregular import random_irregular_topology
+
+BENCH_PATH = Path(__file__).parent / "BENCH_report.json"
+
+CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", 32))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", 6))
+UNIQUE = 8
+WORKERS = 2
+MAX_CONSOLE_OVERHEAD = 1.03
+CONSOLE_SLACK_SECONDS = 0.25
+
+
+def _request_pool():
+    topo = random_irregular_topology(8, seed=101, name="bench-console8")
+    return [ScheduleRequest.build(topo, clusters=4, seed=s).to_dict()
+            for s in range(UNIQUE)]
+
+
+def _drive(address, payloads):
+    """Closed-loop load (one outstanding request per client thread)."""
+    host, port = address
+    errors = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(CLIENTS + 1)
+
+    def client(idx):
+        try:
+            with ServiceClient(host, port, timeout=300.0) as cli:
+                barrier.wait()
+                for r in range(ROUNDS):
+                    cli.submit_payload(payloads[(idx + r) % len(payloads)])
+        except Exception as exc:
+            with lock:
+                errors.append(f"client {idx}: {exc!r}")
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    assert not errors, errors
+    return wall
+
+
+def _scrape_forever(console_address, stop, results):
+    """GET /metrics and /status every ~50 ms until told to stop.
+
+    A 50 ms cadence is already 200-1000x denser than a real Prometheus
+    scrape interval; a generous per-scrape timeout keeps a single
+    event-loop stall under full scheduling load from failing the run —
+    responsiveness is asserted via the scrape count and status codes.
+    """
+    import socket
+
+    host, port = console_address
+    while not stop.is_set():
+        for path in ("/metrics", "/status"):
+            try:
+                with socket.create_connection((host, port),
+                                              timeout=60) as sock:
+                    sock.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+                    chunks = []
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        chunks.append(chunk)
+            except OSError as exc:
+                results["errors"].append(repr(exc))
+                continue
+            raw = b"".join(chunks)
+            head, _, body = raw.partition(b"\r\n\r\n")
+            if b" 200 " not in head.split(b"\r\n", 1)[0]:
+                results["errors"].append(head.decode(errors="replace"))
+            elif path == "/metrics":
+                results["exposition_errors"] += \
+                    validate_exposition(body.decode())
+            results["scrapes"] += 1
+        stop.wait(0.05)
+
+
+def _phase(config, payloads, *, scrape=False):
+    with running_service(config) as svc:
+        results = {"scrapes": 0, "errors": [], "exposition_errors": []}
+        stop = threading.Event()
+        scraper = None
+        if scrape:
+            console = svc.status().console
+            assert console is not None
+            scraper = threading.Thread(
+                target=_scrape_forever,
+                args=((console["host"], console["port"]), stop, results),
+                daemon=True)
+            scraper.start()
+        wall = _drive(svc.address, payloads)
+        stop.set()
+        if scraper is not None:
+            scraper.join(timeout=30)
+        status = svc.status()
+    return {
+        "requests": CLIENTS * ROUNDS,
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(CLIENTS * ROUNDS / wall, 2),
+        "served_computed": status.served["computed"],
+        "served_store": status.served["store"],
+        "scrapes": results["scrapes"],
+    }, results
+
+
+def test_bench_report_console_overhead(benchmark, record):
+    payloads = _request_pool()
+    off_cfg = ServiceConfig(port=0, workers=WORKERS, max_pending=256)
+    on_cfg = ServiceConfig(port=0, workers=WORKERS, max_pending=256,
+                           console_port=0)
+
+    off, _ = _phase(off_cfg, payloads)
+    on, scrape_results = run_once(
+        benchmark, lambda: _phase(on_cfg, payloads, scrape=True))
+
+    overhead = on["wall_seconds"] / off["wall_seconds"]
+    lines = [
+        "operator-console overhead: %d clients x %d rounds, %d unique"
+        % (CLIENTS, ROUNDS, UNIQUE),
+        f"  console off: {off['wall_seconds']:.3f}s "
+        f"({off['throughput_rps']:.1f} req/s)",
+        f"  console on:  {on['wall_seconds']:.3f}s "
+        f"({on['throughput_rps']:.1f} req/s), "
+        f"{on['scrapes']} scrapes answered",
+        f"  overhead: {overhead:.3f}x wall "
+        f"(bar: {MAX_CONSOLE_OVERHEAD:.2f}x + "
+        f"{CONSOLE_SLACK_SECONDS:.2f}s)",
+    ]
+    record("report_console_overhead", "\n".join(lines))
+
+    assert on["scrapes"] > 0, "the scraper never reached the console"
+    assert not scrape_results["errors"], scrape_results["errors"][:5]
+    assert not scrape_results["exposition_errors"], \
+        scrape_results["exposition_errors"][:5]
+    assert on["wall_seconds"] <= (
+        off["wall_seconds"] * MAX_CONSOLE_OVERHEAD
+        + CONSOLE_SLACK_SECONDS), (
+        f"console cost {overhead:.3f}x wall under continuous scraping "
+        f"(bar: {MAX_CONSOLE_OVERHEAD:.2f}x + {CONSOLE_SLACK_SECONDS:.2f}s)")
+
+    payload = {
+        "benchmark": "report_console",
+        "clients": CLIENTS,
+        "rounds_per_client": ROUNDS,
+        "unique_requests": UNIQUE,
+        "workers": WORKERS,
+        "console_off": off,
+        "console_on": on,
+        "console_overhead_wall": round(overhead, 4),
+        "max_console_overhead": MAX_CONSOLE_OVERHEAD,
+        "scrapes_answered": on["scrapes"],
+        "scrape_errors": 0,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n{json.dumps(payload, indent=2)}\n[written to {BENCH_PATH.name}]")

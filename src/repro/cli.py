@@ -10,10 +10,16 @@
 - ``simulate``  — sweep one or more mappings through the wormhole
   simulator and print latency/throughput tables;
 - ``figures``   — regenerate the paper's Figures 1–6 (text renderings);
-- ``report``    — summarize a JSONL trace produced with ``--trace``;
+- ``report``    — summarize a JSONL trace produced with ``--trace``
+  (``--json`` for the machine-readable form), or run a declarative
+  variation study (``--study spec.json``) and render it as comparative
+  markdown / self-contained HTML — optionally serving the result on the
+  HTTP operator console (``--serve``);
 - ``serve``     — run the resident scheduling service (persistent worker
   pool, micro-batching, result store; ``--wal``/``--deadline``/
-  ``--heartbeat`` enable the self-healing tier);
+  ``--heartbeat`` enable the self-healing tier; ``--console-port``
+  adds the HTTP operator console: /healthz, /metrics, /status,
+  /report);
 - ``submit``    — send one scheduling request to a running service;
 - ``status``    — print a running service's counters;
 - ``chaos``     — run the deterministic fault-injection scenarios against
@@ -254,6 +260,22 @@ def cmd_failures(args: argparse.Namespace) -> int:
     res = run_fault_study(setup, scenarios, seed=1, workers=args.workers,
                           checkpoint_path=args.resume)
     print(render_fault_study(res))
+    if args.report:
+        from pathlib import Path
+
+        from repro.reporting import (
+            records_from_fault_study,
+            render_html,
+            wrap_records,
+        )
+
+        result = wrap_records(
+            records_from_fault_study(res),
+            name=f"fault study ({topo.name})",
+            switches=topo.num_switches,
+        )
+        Path(args.report).write_text(render_html(result))
+        print(f"html report written to {args.report}")
     return 0
 
 
@@ -279,6 +301,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_redispatch=args.max_redispatch,
         heartbeat_interval=args.heartbeat if args.heartbeat > 0 else None,
         wal_path=args.wal,
+        console_port=args.console_port,
     )
     return run_service(config)
 
@@ -432,14 +455,99 @@ def cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_report(args: argparse.Namespace) -> int:
-    """Summarize a JSONL trace file (``repro report PATH``)."""
-    from repro.obs.report import report_file
+def _study_status(result) -> dict:
+    """The console ``/status`` payload for a served variation study."""
+    return {
+        "type": "variation_study",
+        "name": result.spec.name,
+        "cells": result.spec.cells,
+        "rates": list(result.rates),
+        "records": [r.name for r in result.records],
+    }
+
+
+def _study_metrics(result) -> str:
+    """The per-cell counters summed, as Prometheus text exposition."""
+    from repro.obs.export import render_prometheus
+
+    counters: dict = {}
+    for r in result.records:
+        for key, value in r.counters.items():
+            counters[key] = counters.get(key, 0) + value
+    return render_prometheus(
+        {"counters": counters, "gauges": {}, "histograms": {}})
+
+
+def _report_study(args: argparse.Namespace) -> int:
+    """Run a variation study and emit/serve its reports."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.reporting import (
+        StudySpec,
+        render_html,
+        render_markdown,
+        run_variation_study,
+        serve_console,
+    )
 
     try:
-        print(report_file(args.trace_file, slowest=args.slowest))
+        spec = StudySpec.load(args.study)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"{args.study}: {exc}")
+    if args.baseline:
+        spec = StudySpec.from_dict(
+            {**spec.to_dict(), "baseline": args.baseline})
+    result = run_variation_study(spec, workers=args.workers)
+    markdown = render_markdown(result)
+    if args.md:
+        Path(args.md).write_text(markdown)
+        print(f"markdown report written to {args.md}")
+    if args.html:
+        Path(args.html).write_text(render_html(result))
+        print(f"html report written to {args.html}")
+    if args.records:
+        rows = [r.to_dict() for r in result.records]
+        Path(args.records).write_text(
+            _json.dumps(rows, indent=2, sort_keys=True) + "\n")
+        print(f"{len(rows)} variation records written to {args.records}")
+    if args.serve:
+        page = render_html(result)
+        status = _study_status(result)
+        metrics = _study_metrics(result)
+        serve_console(
+            host=args.serve_host,
+            port=args.serve_port,
+            metrics=lambda: metrics,
+            status=lambda: status,
+            report=lambda: page,
+        )
+        return 0
+    if not (args.md or args.html or args.records):
+        print(markdown, end="")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Trace summaries and variation studies (``repro report``)."""
+    if args.study:
+        return _report_study(args)
+    if not args.trace_file:
+        raise SystemExit(
+            "provide a trace file or --study SPEC (see 'repro report -h')")
+    import json as _json
+
+    from repro.obs.report import load_trace, render_report, report_json
+
+    try:
+        data = load_trace(args.trace_file)
     except FileNotFoundError:
         raise SystemExit(f"no trace file at {args.trace_file}")
+    if args.json:
+        print(_json.dumps(report_json(data, slowest=args.slowest),
+                          indent=2, sort_keys=True))
+    else:
+        print(render_report(data, slowest=args.slowest))
     return 0
 
 
@@ -458,11 +566,12 @@ def cmd_figures(args: argparse.Namespace) -> int:
     )
     wanted = set(args.fig) if args.fig else {1, 2, 3, 4, 5, 6}
     fig3_cache = None
+    fig5_cache = None
     if 1 in wanted:
         print(render_fig1(run_fig1()), "\n")
     if 2 in wanted:
         print(render_fig2(run_fig2()), "\n")
-    if 3 in wanted or 6 in wanted:
+    if 3 in wanted or 6 in wanted or (args.report and 5 not in wanted):
         fig3_cache = run_fig3(num_random=args.randoms, config=config,
                               workers=args.workers)
     if 3 in wanted:
@@ -470,10 +579,29 @@ def cmd_figures(args: argparse.Namespace) -> int:
     if 4 in wanted:
         print(render_fig4(run_fig4()), "\n")
     if 5 in wanted:
-        print(render_fig5(run_fig5(num_random=3, config=config,
-                                   workers=args.workers)), "\n")
+        fig5_cache = run_fig5(num_random=3, config=config,
+                              workers=args.workers)
+        print(render_fig5(fig5_cache), "\n")
     if 6 in wanted:
         print(render_fig6(run_fig6(sim_result=fig3_cache)), "\n")
+    if args.report:
+        from pathlib import Path
+
+        from repro.reporting import (
+            records_from_sim_figure,
+            render_html,
+            wrap_records,
+        )
+
+        records = []
+        names = []
+        for label, res in (("fig3", fig3_cache), ("fig5", fig5_cache)):
+            if res is not None:
+                records += records_from_sim_figure(res, engine=label)
+                names.append(f"{label} ({res.topology_name})")
+        result = wrap_records(records, name=" + ".join(names))
+        Path(args.report).write_text(render_html(result))
+        print(f"html report written to {args.report}")
     return 0
 
 
@@ -568,6 +696,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", metavar="PATH", default=None,
                    help="checkpoint file: record completed scenarios and "
                         "resume an interrupted study bit-identically")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="also write the study as a self-contained HTML "
+                        "report")
     p.set_defaults(func=cmd_failures)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -582,6 +713,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=list(ENGINE_NAMES),
                    help="simulator engine for the fig3/fig5 sweeps "
                         "(results are engine-independent)")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="also write the fig3/fig5 sweeps as a "
+                        "self-contained HTML report")
     p.set_defaults(func=cmd_figures)
 
     def add_service_addr(p):
@@ -626,6 +760,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heartbeat", type=float, default=0.0,
                    help="probe an idle pool every N seconds and restart it "
                         "on a missed beat (0 disables; default: 0)")
+    p.add_argument("--console-port", type=int, default=None, metavar="PORT",
+                   help="also serve the HTTP operator console on PORT "
+                        "(/healthz, /metrics, /status, /report; 0 picks "
+                        "an ephemeral port; default: off)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("chaos",
@@ -676,10 +814,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_status)
 
-    p = sub.add_parser("report", help="summarize a JSONL trace file")
-    p.add_argument("trace_file", help="trace written by --trace PATH")
+    p = sub.add_parser("report",
+                       help="summarize a trace, or run a variation study "
+                            "and render/serve its reports")
+    p.add_argument("trace_file", nargs="?", default=None,
+                   help="trace written by --trace PATH")
     p.add_argument("--slowest", type=int, default=10,
                    help="how many of the slowest spans to list (default: 10)")
+    p.add_argument("--json", action="store_true",
+                   help="print the trace report as one machine-readable "
+                        "JSON document instead of text")
+    p.add_argument("--study", metavar="SPEC", default=None,
+                   help="run the variation study described by a "
+                        "variation_study_spec JSON file instead of "
+                        "summarizing a trace")
+    p.add_argument("--md", metavar="PATH", default=None,
+                   help="write the study's comparative markdown report")
+    p.add_argument("--html", metavar="PATH", default=None,
+                   help="write the study as one self-contained HTML file")
+    p.add_argument("--records", metavar="PATH", default=None,
+                   help="write the study's variation records as JSON")
+    p.add_argument("--baseline", metavar="NAME", default=None,
+                   help="override the spec's baseline mapping for deltas "
+                        "and regression flags")
+    p.add_argument("--workers", type=_workers_arg, default=None,
+                   metavar="N|auto",
+                   help="fan the study's load sweeps onto a process pool "
+                        "(results are identical either way)")
+    p.add_argument("--serve", action="store_true",
+                   help="after the study, serve the report on the operator "
+                        "console until interrupted")
+    p.add_argument("--host", dest="serve_host", default="127.0.0.1",
+                   help="console bind address for --serve "
+                        "(default: 127.0.0.1)")
+    p.add_argument("--port", dest="serve_port", type=int, default=8080,
+                   help="console port for --serve (default: 8080)")
     p.set_defaults(func=cmd_report)
 
     return parser

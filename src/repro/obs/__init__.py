@@ -16,7 +16,9 @@ cycles went:
 - :mod:`repro.obs.manifest` — a per-run :class:`RunManifest` capturing
   the command, seeds, engine, worker count and package version;
 - :mod:`repro.obs.schema`  — the JSONL event schema and its validator;
-- :mod:`repro.obs.report`  — ``repro report``: summarize a trace file.
+- :mod:`repro.obs.report`  — ``repro report``: summarize a trace file;
+- :mod:`repro.obs.export`  — registry snapshots in Prometheus text
+  exposition format (the console's ``/metrics`` endpoint).
 
 The determinism contract (locked down by the engine-parity and
 parallel-determinism suites): telemetry is **inert**.  It never touches
@@ -25,6 +27,11 @@ what is *recorded*, never what is *computed* — and with no tracer active
 every instrumentation point is a near-zero-cost no-op.
 """
 
+from repro.obs.export import (
+    parse_exposition,
+    render_prometheus,
+    validate_exposition,
+)
 from repro.obs.manifest import RunManifest, collect_manifest
 from repro.obs.metrics import (
     Counter,
@@ -63,4 +70,7 @@ __all__ = [
     "RunManifest",
     "collect_manifest",
     "trace_run",
+    "render_prometheus",
+    "parse_exposition",
+    "validate_exposition",
 ]

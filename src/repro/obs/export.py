@@ -1,0 +1,178 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry` snapshot.
+
+The operator console (:mod:`repro.reporting.console`) serves a
+``/metrics`` endpoint; this module renders the registry's JSON-ready
+snapshot — ``{"counters": ..., "gauges": ..., "histograms": ...}`` —
+into the Prometheus text exposition format (version 0.0.4) without any
+client-library dependency:
+
+- counters become ``<name>_total`` samples with ``# TYPE ... counter``;
+- gauges become plain samples with ``# TYPE ... gauge``;
+- histograms (Welford moments + reservoir percentiles) become
+  ``summary`` families: ``quantile``-labelled samples plus ``_count``
+  and ``_sum`` (reconstructed as ``mean * count`` — the registry keeps
+  moments, not a running sum).
+
+Instrument names use dotted paths (``cache.dist.hit``); exposition
+names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so dots and any other
+illegal characters are folded to underscores and everything is prefixed
+with ``repro_``.
+
+:func:`parse_exposition` is the strict inverse used by the tests and
+the CI smoke job: it re-parses an exposition document, enforcing the
+format's line grammar (HELP/TYPE comments first, one TYPE per family,
+float-parseable sample values), so "valid Prometheus text format" is a
+checkable property rather than a hope.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Tuple
+
+PROM_PREFIX = "repro"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"\\]*)"$')
+_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def prom_name(name: str, prefix: str = PROM_PREFIX) -> str:
+    """A dotted instrument name as a legal Prometheus metric name."""
+    cleaned = _NAME_FIX.sub("_", name)
+    if prefix:
+        cleaned = f"{prefix}_{cleaned}"
+    if not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    """A sample value in exposition syntax (NaN / +Inf / -Inf spelled out)."""
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any], *, prefix: str = PROM_PREFIX
+) -> str:
+    """Render a registry snapshot as a Prometheus text exposition document.
+
+    ``snapshot`` is what :meth:`MetricsRegistry.snapshot` returns; any of
+    the three sections may be absent.  Families render in sorted-name
+    order, so the document is deterministic for a given snapshot.
+    """
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        fam = prom_name(name, prefix) + "_total"
+        lines.append(f"# HELP {fam} Counter {name!r} from the repro registry.")
+        lines.append(f"# TYPE {fam} counter")
+        lines.append(f"{fam} {_fmt(counters[name])}")
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        fam = prom_name(name, prefix)
+        lines.append(f"# HELP {fam} Gauge {name!r} from the repro registry.")
+        lines.append(f"# TYPE {fam} gauge")
+        lines.append(f"{fam} {_fmt(gauges[name])}")
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        snap = histograms[name]
+        fam = prom_name(name, prefix)
+        lines.append(
+            f"# HELP {fam} Histogram {name!r} from the repro registry.")
+        lines.append(f"# TYPE {fam} summary")
+        count = int(snap.get("count", 0))
+        for key in sorted(k for k in snap if k.startswith("p")):
+            q = float(key[1:]) / 100.0
+            lines.append(f'{fam}{{quantile="{_fmt(q)}"}} {_fmt(snap[key])}')
+        mean = float(snap.get("mean", 0.0)) if count else 0.0
+        lines.append(f"{fam}_sum {_fmt(mean * count)}")
+        lines.append(f"{fam}_count {count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_exposition(
+    text: str,
+) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Parse (and thereby validate) a text exposition document.
+
+    Returns ``{family sample name: [(labels, value), ...]}``.  Raises
+    :class:`ValueError` on any grammar violation: a malformed sample
+    line, an unknown TYPE, a repeated TYPE for one family, a sample
+    value that does not parse as a float, or a missing final newline.
+    """
+    if text == "":
+        return {}
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    metrics: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment: {line!r}")
+            _, kind, fam, rest = parts
+            if not _NAME_OK.match(fam):
+                raise ValueError(f"line {lineno}: bad family name {fam!r}")
+            if kind == "TYPE":
+                if rest not in _TYPES:
+                    raise ValueError(f"line {lineno}: unknown type {rest!r}")
+                if fam in typed:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {fam}")
+                typed[fam] = rest
+            continue
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        labels: Dict[str, str] = {}
+        raw = m.group("labels")
+        if raw:
+            for pair in raw.rstrip(",").split(","):
+                lm = _LABEL.match(pair)
+                if lm is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed label {pair!r}")
+                labels[lm.group("key")] = lm.group("val")
+        value_text = m.group("value")
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparseable value {value_text!r}") from None
+        metrics.setdefault(m.group("name"), []).append((labels, value))
+    return metrics
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Grammar errors in an exposition document (empty list = valid)."""
+    try:
+        parse_exposition(text)
+    except ValueError as exc:
+        return [str(exc)]
+    return []
+
+
+__all__ = [
+    "PROM_PREFIX",
+    "prom_name",
+    "render_prometheus",
+    "parse_exposition",
+    "validate_exposition",
+]

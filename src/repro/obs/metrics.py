@@ -87,7 +87,14 @@ class Histogram:
         self.reservoir.add(value)
 
     def snapshot(self) -> Dict[str, float]:
-        """Headline statistics plus p50/p95/p99 as a JSON-ready dict."""
+        """Headline statistics plus p50/p95/p99 as a JSON-ready dict.
+
+        A histogram that never saw an observation snapshots to the
+        explicit empty result ``{"count": 0}`` — no NaN-valued moments,
+        which would poison the JSON metrics record at trace close.
+        """
+        if self.stats.count == 0:
+            return {"count": 0}
         out: Dict[str, float] = {
             "count": self.stats.count,
             "mean": self.stats.mean,

@@ -35,12 +35,18 @@ PathLike = Union[str, Path]
 
 @dataclass
 class TraceData:
-    """A parsed trace file: manifest, spans, events, metrics snapshots."""
+    """A parsed trace file: manifest, spans, events, metrics snapshots.
+
+    ``corrupt_lines`` counts lines that failed to parse (typically one
+    torn final line from a run killed mid-write); the report renders the
+    surviving records and says how many lines were dropped.
+    """
 
     manifest: Optional[RunManifest] = None
     spans: List[TraceEvent] = field(default_factory=list)
     events: List[TraceEvent] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    corrupt_lines: int = 0
 
     def events_named(self, name: str) -> List[TraceEvent]:
         """All point events with the given name, in file order."""
@@ -64,21 +70,31 @@ def load_trace(path: PathLike) -> TraceData:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            rtype = record.get("type")
-            if rtype == "manifest":
-                data.manifest = RunManifest.from_record(record)
-            elif rtype == "span":
-                data.spans.append(TraceEvent.from_record(record))
-            elif rtype == "event":
-                data.events.append(TraceEvent.from_record(record))
-            elif rtype == "metrics":
-                data.metrics = record.get("metrics", {})
+            # A run killed mid-write leaves one torn line (usually the
+            # last); drop it, count it, and keep everything that did land.
+            try:
+                record = json.loads(line)
+                rtype = record.get("type")
+                if rtype == "manifest":
+                    data.manifest = RunManifest.from_record(record)
+                elif rtype == "span":
+                    data.spans.append(TraceEvent.from_record(record))
+                elif rtype == "event":
+                    data.events.append(TraceEvent.from_record(record))
+                elif rtype == "metrics":
+                    data.metrics = record.get("metrics", {})
+            except (ValueError, KeyError, TypeError, AttributeError):
+                data.corrupt_lines += 1
     return data
 
 
-def _phase_breakdown(spans: List[TraceEvent]) -> Table:
-    """Per-span-name totals with self time (children subtracted)."""
+def _phase_stats(spans: List[TraceEvent]) -> List[Dict[str, Any]]:
+    """Per-span-name totals with self time (children subtracted).
+
+    A span whose ``parent_id`` references a span that never closed (or
+    whose record was torn away) simply contributes no child time to
+    anyone — orphans are summarized like roots, never an error.
+    """
     child_time: Dict[int, float] = {}
     for sp in spans:
         if sp.parent_id is not None and sp.duration is not None:
@@ -93,12 +109,22 @@ def _phase_breakdown(spans: List[TraceEvent]) -> Table:
         row[1] += dur
         row[2] += self_time
     traced = sum(sp.duration or 0.0 for sp in spans if sp.parent_id is None)
-    t = Table(["phase", "count", "total s", "self s", "% of run"],
-              title="per-phase time breakdown")
+    out = []
     for name, (count, total, self_time) in sorted(
             totals.items(), key=lambda kv: -kv[1][2]):
         share = 100.0 * self_time / traced if traced > 0 else math.nan
-        t.add_row([name, count, total, self_time, share], digits=3)
+        out.append({"phase": name, "count": count, "total_s": total,
+                    "self_s": self_time, "share_pct": share})
+    return out
+
+
+def _phase_breakdown(spans: List[TraceEvent]) -> Table:
+    """Per-span-name totals with self time (children subtracted)."""
+    t = Table(["phase", "count", "total s", "self s", "% of run"],
+              title="per-phase time breakdown")
+    for row in _phase_stats(spans):
+        t.add_row([row["phase"], row["count"], row["total_s"],
+                   row["self_s"], row["share_pct"]], digits=3)
     return t
 
 
@@ -116,50 +142,75 @@ def _slowest_spans(spans: List[TraceEvent], limit: int) -> Table:
     return t
 
 
+def _grouped_counters(counters: Dict[str, float],
+                      prefix: str) -> Dict[str, Dict[str, float]]:
+    """``{group: {kind: value}}`` for counters named ``<prefix>.<group>.<kind>``."""
+    groups: Dict[str, Dict[str, float]] = {}
+    for name, value in counters.items():
+        if not name.startswith(prefix + "."):
+            continue
+        _, group, kind = name.split(".", 2)
+        groups.setdefault(group, {})[kind] = value
+    return groups
+
+
+def _cache_stats(counters: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    """Hit/miss/eviction rates per cache, from ``cache.*`` counters."""
+    out: Dict[str, Dict[str, float]] = {}
+    for cache_name, vals in sorted(_grouped_counters(counters,
+                                                     "cache").items()):
+        hits = vals.get("hits", 0.0)
+        misses = vals.get("misses", 0.0)
+        rate = hits / (hits + misses) if hits + misses else math.nan
+        out[cache_name] = {"hits": hits, "misses": misses,
+                           "evictions": vals.get("evictions", 0.0),
+                           "hit_rate": rate}
+    return out
+
+
 def _cache_section(counters: Dict[str, float]) -> Optional[Table]:
     """Hit/miss/eviction rates per cache, from ``cache.*`` counters."""
-    caches: Dict[str, Dict[str, float]] = {}
-    for name, value in counters.items():
-        if not name.startswith("cache."):
-            continue
-        _, cache_name, kind = name.split(".", 2)
-        caches.setdefault(cache_name, {})[kind] = value
+    caches = _cache_stats(counters)
     if not caches:
         return None
     t = Table(["cache", "hits", "misses", "evictions", "hit rate"],
               title="distance/routing-table caches")
-    for cache_name, vals in sorted(caches.items()):
-        hits = vals.get("hits", 0.0)
-        misses = vals.get("misses", 0.0)
-        rate = hits / (hits + misses) if hits + misses else math.nan
-        t.add_row([cache_name, hits, misses, vals.get("evictions", 0.0), rate],
-                  digits=3)
+    for cache_name, vals in caches.items():
+        t.add_row([cache_name, vals["hits"], vals["misses"],
+                   vals["evictions"], vals["hit_rate"]], digits=3)
     return t
+
+
+def _engine_stats(counters: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    """Engine counter totals keyed by engine name, from ``engine.*``."""
+    out: Dict[str, Dict[str, float]] = {}
+    for engine_name, vals in sorted(_grouped_counters(counters,
+                                                      "engine").items()):
+        requests = vals.get("arb_requests", 0.0)
+        conflicts = vals.get("arb_conflicts", 0.0)
+        out[engine_name] = {
+            "runs": vals.get("runs", 0.0),
+            "cycles_executed": vals.get("cycles_executed", 0.0),
+            "cycles_skipped": vals.get("cycles_skipped", 0.0),
+            "arb_conflicts": conflicts,
+            "conflict_rate": conflicts / requests if requests else math.nan,
+        }
+    return out
 
 
 def _engine_section(counters: Dict[str, float]) -> Optional[Table]:
     """Engine counter totals, one row per engine, from ``engine.*``."""
-    engines: Dict[str, Dict[str, float]] = {}
-    for name, value in counters.items():
-        if not name.startswith("engine."):
-            continue
-        _, engine_name, kind = name.split(".", 2)
-        engines.setdefault(engine_name, {})[kind] = value
+    engines = _engine_stats(counters)
     if not engines:
         return None
     cols = ["engine", "runs", "cycles exec", "cycles skipped",
             "arb conflicts", "conflict rate"]
     t = Table(cols, title="simulation engines")
-    for engine_name, vals in sorted(engines.items()):
-        requests = vals.get("arb_requests", 0.0)
-        conflicts = vals.get("arb_conflicts", 0.0)
+    for engine_name, vals in engines.items():
         t.add_row([
-            engine_name,
-            vals.get("runs", 0.0),
-            vals.get("cycles_executed", 0.0),
-            vals.get("cycles_skipped", 0.0),
-            conflicts,
-            conflicts / requests if requests else math.nan,
+            engine_name, vals["runs"], vals["cycles_executed"],
+            vals["cycles_skipped"], vals["arb_conflicts"],
+            vals["conflict_rate"],
         ], digits=3)
     return t
 
@@ -231,7 +282,63 @@ def render_report(data: TraceData, *, slowest: int = 10) -> str:
             f"execution-layer recoveries: {len(retries)} job retries, "
             f"{len(fallbacks)} pool fallbacks"
         )
+    if data.corrupt_lines:
+        sections.append(
+            f"warning: {data.corrupt_lines} corrupt line(s) skipped "
+            "(torn write?)"
+        )
     return "\n\n".join(sections)
+
+
+def _jsonsafe(value: Any) -> Any:
+    """``value`` with NaN/Inf floats replaced by ``None``, recursively.
+
+    ``repro report --json`` promises strictly valid JSON; Python's
+    ``json`` would happily emit bare ``NaN`` tokens that other parsers
+    reject.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _jsonsafe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonsafe(v) for v in value]
+    return value
+
+
+REPORT_JSON_SCHEMA = "repro.report/1"
+
+
+def report_json(data: TraceData, *, slowest: int = 10) -> Dict[str, Any]:
+    """The trace report as one machine-readable, strictly-JSON-safe dict.
+
+    Mirrors :func:`render_report` section by section; ``schema``
+    identifies the payload shape so downstream consumers can reject
+    versions they do not understand.
+    """
+    m = data.manifest
+    ranked = sorted(data.spans, key=lambda sp: -(sp.duration or 0.0))[:slowest]
+    restarts = [dict(ev.attrs) for ev in data.events_named("search.restart")]
+    payload: Dict[str, Any] = {
+        "schema": REPORT_JSON_SCHEMA,
+        "manifest": m.to_record() if m is not None else None,
+        "phases": _phase_stats(data.spans),
+        "slowest_spans": [
+            {"span": sp.name, "duration_s": sp.duration or 0.0,
+             "attrs": dict(sp.attrs)}
+            for sp in ranked
+        ],
+        "caches": _cache_stats(data.counters),
+        "engines": _engine_stats(data.counters),
+        "search_restarts": restarts,
+        "recoveries": {
+            "job_retries": len(data.events_named("parallel.job.retry")),
+            "pool_fallbacks": len(data.events_named("parallel.fallback")),
+        },
+        "metrics": data.metrics,
+        "corrupt_lines": data.corrupt_lines,
+    }
+    return _jsonsafe(payload)
 
 
 def report_file(path: PathLike, *, slowest: int = 10) -> str:
@@ -239,4 +346,5 @@ def report_file(path: PathLike, *, slowest: int = 10) -> str:
     return render_report(load_trace(path), slowest=slowest)
 
 
-__all__ = ["TraceData", "load_trace", "render_report", "report_file"]
+__all__ = ["TraceData", "load_trace", "render_report", "report_json",
+           "REPORT_JSON_SCHEMA", "report_file"]

@@ -34,6 +34,7 @@ from repro.distance.table import DistanceTable
 from repro.faults.model import FaultScenario
 from repro.obs.manifest import RunManifest
 from repro.obs.trace import TraceEvent
+from repro.reporting.study import StudySpec, VariationRecord
 from repro.service.protocol import (
     ScheduleRequest,
     ScheduleResponse,
@@ -209,6 +210,26 @@ def service_status_from_dict(d: Dict[str, Any]) -> ServiceStatus:
     return ServiceStatus.from_dict(d)
 
 
+def variation_record_to_dict(record: VariationRecord) -> Dict[str, Any]:
+    """Encode one variation-study cell (already a tagged dict shape)."""
+    return record.to_dict()
+
+
+def variation_record_from_dict(d: Dict[str, Any]) -> VariationRecord:
+    """Decode (and strictly validate) a variation-record payload."""
+    return VariationRecord.from_dict(d)
+
+
+def study_spec_to_dict(spec: StudySpec) -> Dict[str, Any]:
+    """Encode a variation-study spec."""
+    return spec.to_dict()
+
+
+def study_spec_from_dict(d: Dict[str, Any]) -> StudySpec:
+    """Decode (and strictly validate) a study-spec payload."""
+    return StudySpec.from_dict(d)
+
+
 # --------------------------------------------------------------------- #
 # generic entry points
 # --------------------------------------------------------------------- #
@@ -224,6 +245,8 @@ _ENCODERS = {
     ScheduleRequest: schedule_request_to_dict,
     ScheduleResponse: schedule_response_to_dict,
     ServiceStatus: service_status_to_dict,
+    VariationRecord: variation_record_to_dict,
+    StudySpec: study_spec_to_dict,
 }
 
 _DECODERS = {
@@ -237,6 +260,8 @@ _DECODERS = {
     "schedule_request": schedule_request_from_dict,
     "schedule_response": schedule_response_from_dict,
     "service_status": service_status_from_dict,
+    "variation_record": variation_record_from_dict,
+    "variation_study_spec": study_spec_from_dict,
 }
 
 
@@ -308,4 +333,8 @@ __all__ = [
     "schedule_response_from_dict",
     "service_status_to_dict",
     "service_status_from_dict",
+    "variation_record_to_dict",
+    "variation_record_from_dict",
+    "study_spec_to_dict",
+    "study_spec_from_dict",
 ]

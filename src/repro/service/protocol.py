@@ -533,6 +533,7 @@ class ServiceStatus:
     batches: Dict[str, Any]       # count / requests / mean_size / max_size
     supervisor: Optional[Dict[str, Any]] = None  # restarts / breaker / ...
     wal: Optional[Dict[str, Any]] = None         # path / pending / recovered
+    console: Optional[Dict[str, Any]] = None     # host / port / requests
 
     def to_dict(self) -> Dict[str, Any]:
         """Encode as a tagged JSON-ready dict (the ``status`` reply body).
@@ -561,6 +562,8 @@ class ServiceStatus:
             d["supervisor"] = dict(self.supervisor)
         if self.wal is not None:
             d["wal"] = dict(self.wal)
+        if self.console is not None:
+            d["console"] = dict(self.console)
         return d
 
     @classmethod
@@ -574,11 +577,11 @@ class ServiceStatus:
                     "requests_total", "served", "rejected", "queue_depth",
                     "queue_capacity", "inflight", "store", "pool", "batches"}
         _check_keys(d, required=required,
-                    optional={"version", "supervisor", "wal"},
+                    optional={"version", "supervisor", "wal", "console"},
                     what="service_status")
         for key in ("served", "rejected", "store", "pool", "batches"):
             _require_dict(d[key], f"service_status.{key}")
-        for key in ("supervisor", "wal"):
+        for key in ("supervisor", "wal", "console"):
             if d.get(key) is not None:
                 _require_dict(d[key], f"service_status.{key}")
         return cls(
@@ -596,6 +599,8 @@ class ServiceStatus:
             supervisor=(dict(d["supervisor"])
                         if d.get("supervisor") is not None else None),
             wal=dict(d["wal"]) if d.get("wal") is not None else None,
+            console=(dict(d["console"])
+                     if d.get("console") is not None else None),
         )
 
 

@@ -142,6 +142,8 @@ class ServiceConfig:
     heartbeat_timeout: float = 10.0
     shed: bool = True                 # priority-aware eviction when full
     wal_path: Optional[Union[str, Path]] = None  # accepted-request journal
+    # --- operator console (PR 9) ------------------------------------ #
+    console_port: Optional[int] = None  # HTTP console; None=off, 0=ephemeral
     executor: Callable[[int, List[Dict[str, Any]], bool],
                        List[Dict[str, Any]]] = _default_executor
 
@@ -172,6 +174,7 @@ class SchedulerService:
             heartbeat_timeout=self.config.heartbeat_timeout,
         )
         self.wal: Optional[WriteAheadLog] = None     # opened on start()
+        self.console = None                          # ConsoleServer on start()
         self._batch_seq = 0
         self._counters: Dict[str, int] = {
             "requests": 0,
@@ -210,6 +213,20 @@ class SchedulerService:
         if self.config.wal_path is not None:
             self.wal = WriteAheadLog(self.config.wal_path)
             await self._replay_wal()
+        if self.config.console_port is not None:
+            # Imported here: the reporting layer is optional at runtime
+            # and the service must not pull it in when the console is off.
+            from repro.reporting.console import ConsoleServer
+            from repro.reporting.html import render_status_page
+
+            self.console = ConsoleServer(
+                metrics=self._console_metrics,
+                status=lambda: self.status().to_dict(),
+                report=lambda: render_status_page(self.status().to_dict()),
+            )
+            chost, cport = await self.console.start(
+                self.config.host, self.config.console_port)
+            _trace.event("service.console.started", host=chost, port=cport)
         _trace.event("service.started", host=self.address[0],
                      port=self.address[1], workers=self.pool.workers)
         return self.address
@@ -276,6 +293,9 @@ class SchedulerService:
 
     async def stop(self) -> None:
         """Stop accepting, fail queued work, close the pool (reaping it)."""
+        if self.console is not None:
+            await self.console.stop()
+            self.console = None
         await self.supervisor.stop()
         if self._server is not None:
             self._server.close()
@@ -663,7 +683,76 @@ class SchedulerService:
             },
             supervisor=self.supervisor.status(),
             wal=(self.wal.status() if self.wal is not None else None),
+            console=(
+                {"host": self.console.address[0],
+                 "port": self.console.address[1],
+                 "requests": self.console.requests_served}
+                if self.console is not None
+                and self.console.address is not None else None
+            ),
         )
+
+    def _console_metrics(self) -> str:
+        """The ``/metrics`` body: the status snapshot as Prometheus text.
+
+        Built from the same counters the ``status`` op reports, merged
+        with the context's live :class:`MetricsRegistry` when one is
+        active (e.g. the daemon runs under ``--trace``).
+        """
+        from repro.obs.export import render_prometheus
+        from repro.obs.metrics import current_registry
+
+        snapshot = status_metrics_snapshot(self.status().to_dict())
+        registry = current_registry()
+        if registry is not None:
+            live = registry.snapshot()
+            snapshot["counters"].update(live.get("counters", {}))
+            snapshot["gauges"].update(live.get("gauges", {}))
+            snapshot["histograms"] = live.get("histograms", {})
+        return render_prometheus(snapshot)
+
+
+# --------------------------------------------------------------------- #
+# status -> metrics mapping
+# --------------------------------------------------------------------- #
+
+def status_metrics_snapshot(status: Dict[str, Any]) -> Dict[str, Any]:
+    """A ``status`` dict as a registry-snapshot shape for the exporter.
+
+    Monotone totals (requests, served/rejected reasons, store traffic,
+    batches) become counters; instantaneous readings (queue depth,
+    inflight, pool occupancy, uptime) become gauges.  Keys are dotted
+    instrument names; :func:`repro.obs.export.render_prometheus` turns
+    them into legal exposition names.
+    """
+    counters: Dict[str, float] = {
+        "service.requests": status.get("requests_total", 0),
+    }
+    for reason, value in status.get("served", {}).items():
+        counters[f"service.served.{reason}"] = value
+    for reason, value in status.get("rejected", {}).items():
+        counters[f"service.rejected.{reason}"] = value
+    store = status.get("store", {})
+    for kind in ("hits", "misses", "evictions", "expirations",
+                 "corruptions"):
+        counters[f"service.store.{kind}"] = store.get(kind, 0)
+    batches = status.get("batches", {})
+    counters["service.batches"] = batches.get("count", 0)
+    counters["service.batched_requests"] = batches.get("requests", 0)
+    console = status.get("console") or {}
+    if console:
+        counters["service.console.requests"] = console.get("requests", 0)
+    gauges: Dict[str, float] = {
+        "service.uptime_seconds": status.get("uptime_seconds", 0.0),
+        "service.queue_depth": status.get("queue_depth", 0),
+        "service.queue_capacity": status.get("queue_capacity", 0),
+        "service.inflight": status.get("inflight", 0),
+        "service.store.size": store.get("size", 0),
+    }
+    pool = status.get("pool", {})
+    gauges["service.pool.workers"] = pool.get("workers", 0)
+    gauges["service.pool.active"] = pool.get("active", 0)
+    return {"counters": counters, "gauges": gauges, "histograms": {}}
 
 
 # --------------------------------------------------------------------- #
@@ -759,6 +848,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceStartupError",
     "SchedulerService",
+    "status_metrics_snapshot",
     "run_service",
     "running_service",
 ]

@@ -1325,7 +1325,10 @@ class _VectorCore:
             pcts = {f"p{q}": float(np.percentile(lats, q))
                     for q in (50, 95, 99)}
         else:
-            pcts = {"p50": math.nan, "p95": math.nan, "p99": math.nan}
+            # Explicit empty result — mirrors ReservoirSampler.percentiles()
+            # so the scalar engines and the vector engine keep identical
+            # payload shapes when a run delivers no messages.
+            pcts = {}
         return SimulationResult(
             offered_flits_per_switch_cycle=float(self.offered[r]),
             accepted_flits_per_switch_cycle=(

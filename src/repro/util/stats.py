@@ -188,12 +188,17 @@ class ReservoirSampler:
         One vectorized :func:`numpy.percentile` call: the per-call setup
         (array conversion, dispatch) is a measurable fixed cost per
         simulation run when computed once per quantile.
+
+        An empty reservoir yields an explicitly empty dict rather than
+        NaN-valued entries: NaN is not valid JSON, and every consumer
+        (trace metrics records, the Prometheus exporter, report
+        rendering) treats "no keys" as "no data".
         """
         for q in qs:
             if not (0 <= q <= 100):
                 raise ValueError(f"q must be in [0, 100], got {q}")
         if not self._sample:
-            return {f"p{int(q)}": math.nan for q in qs}
+            return {}
         vals = np.percentile(np.asarray(self._sample), list(qs))
         return {f"p{int(q)}": float(v) for q, v in zip(qs, vals)}
 

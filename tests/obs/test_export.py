@@ -1,0 +1,118 @@
+"""Tests for the Prometheus text exposition exporter."""
+
+import pytest
+
+from repro.obs.export import (
+    parse_exposition,
+    prom_name,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("cache.dist.hit").inc(7)
+    reg.counter("cache.dist.miss").inc(2)
+    reg.gauge("pool.workers").set(4)
+    h = reg.histogram("search.restart_cost")
+    for v in range(1, 101):
+        h.observe(float(v))
+    return reg
+
+
+class TestPromName:
+    def test_dots_folded(self):
+        assert prom_name("cache.dist.hit") == "repro_cache_dist_hit"
+
+    def test_illegal_chars_folded(self):
+        assert prom_name("a-b c/d") == "repro_a_b_c_d"
+
+    def test_no_prefix(self):
+        assert prom_name("ok_name", prefix="") == "ok_name"
+
+
+class TestRenderPrometheus:
+    def test_counters_get_total_suffix(self):
+        text = render_prometheus(_registry().snapshot())
+        assert "# TYPE repro_cache_dist_hit_total counter" in text
+        assert "repro_cache_dist_hit_total 7" in text
+
+    def test_gauges(self):
+        text = render_prometheus(_registry().snapshot())
+        assert "# TYPE repro_pool_workers gauge" in text
+        assert "repro_pool_workers 4" in text
+
+    def test_histogram_as_summary(self):
+        text = render_prometheus(_registry().snapshot())
+        assert "# TYPE repro_search_restart_cost summary" in text
+        assert 'repro_search_restart_cost{quantile="0.5"}' in text
+        assert "repro_search_restart_cost_count 100" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_empty_histogram_has_no_quantiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("quiet")
+        text = render_prometheus(reg.snapshot())
+        assert "repro_quiet_count 0" in text
+        assert "quantile" not in text
+
+    def test_deterministic(self):
+        snap = _registry().snapshot()
+        assert render_prometheus(snap) == render_prometheus(snap)
+
+    def test_roundtrip_parses_clean(self):
+        text = render_prometheus(_registry().snapshot())
+        assert validate_exposition(text) == []
+        metrics = parse_exposition(text)
+        assert metrics["repro_cache_dist_hit_total"] == [({}, 7.0)]
+        quantiles = {
+            labels["quantile"]: value
+            for labels, value in metrics["repro_search_restart_cost"]
+        }
+        assert quantiles["0.5"] == pytest.approx(50.5)
+        [(_, total)] = metrics["repro_search_restart_cost_sum"]
+        assert total == pytest.approx(5050.0)
+
+
+class TestParseExposition:
+    def test_rejects_missing_final_newline(self):
+        with pytest.raises(ValueError, match="newline"):
+            parse_exposition("a 1")
+
+    def test_rejects_bad_sample(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_exposition("0bad_name 1\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError, match="unparseable value"):
+            parse_exposition("metric oops\n")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            parse_exposition("# TYPE m frobnicator\nm 1\n")
+
+    def test_rejects_duplicate_type(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_exposition("# TYPE m gauge\n# TYPE m counter\nm 1\n")
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_exposition("m{x=unquoted} 1\n")
+
+    def test_accepts_special_values(self):
+        metrics = parse_exposition("m NaN\nn +Inf\no -2.5e3\n")
+        [(_, v)] = metrics["o"]
+        assert v == -2500.0
+
+    def test_empty_document_ok(self):
+        assert parse_exposition("") == {}
+        assert validate_exposition("") == []
+
+    def test_validate_reports_errors(self):
+        errs = validate_exposition("m oops\n")
+        assert errs and "unparseable" in errs[0]

@@ -1,10 +1,17 @@
 """Report rendering: parse a real trace and check every section appears."""
 
+import json
 import math
 
 from repro.obs.manifest import collect_manifest
 from repro.obs.metrics import inc
-from repro.obs.report import load_trace, render_report, report_file
+from repro.obs.report import (
+    REPORT_JSON_SCHEMA,
+    load_trace,
+    render_report,
+    report_file,
+    report_json,
+)
 from repro.obs.run import trace_run
 from repro.obs.trace import event, span
 
@@ -87,3 +94,119 @@ class TestRenderReport:
                 event("sweep.point", index=1, rate=0.1,
                       accepted=0.0, avg_latency=math.nan, saturated=False)
         assert render_report(load_trace(path))
+
+
+class TestEdgeCases:
+    """Damaged or partial traces must still load and render."""
+
+    def test_no_manifest(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as fh:
+            fh.write('{"type": "span", "name": "work", "t_start": 0.0, '
+                     '"t_end": 1.0, "duration": 1.0, "span_id": 1}\n')
+        data = load_trace(path)
+        assert data.manifest is None
+        text = render_report(data)
+        assert "run manifest" not in text and "work" in text
+        assert report_json(data)["manifest"] is None
+
+    def test_truncated_final_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        with open(path, "a") as fh:
+            fh.write('{"type": "event", "name": "torn", "t": 1.')  # no \n
+        data = load_trace(path)
+        assert data.corrupt_lines == 1
+        assert data.manifest is not None  # everything before survived
+        text = render_report(data)
+        assert "1 corrupt line(s) skipped" in text
+        assert report_json(data)["corrupt_lines"] == 1
+
+    def test_missing_parent_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as fh:
+            fh.write('{"type": "span", "name": "orphan", "t_start": 0.0, '
+                     '"t_end": 2.0, "duration": 2.0, "span_id": 5, '
+                     '"parent_id": 999}\n')
+        data = load_trace(path)
+        text = render_report(data)
+        assert "orphan" in text
+        phases = report_json(data)["phases"]
+        assert phases[0]["phase"] == "orphan"
+        assert phases[0]["total_s"] == 2.0
+
+    def test_record_with_missing_keys_counted_corrupt(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as fh:
+            fh.write('{"type": "span", "t_start": 0.0}\n')  # no name
+            fh.write('[1, 2, 3]\n')  # not even a record
+        data = load_trace(path)
+        assert data.corrupt_lines == 2
+        assert render_report(data)
+
+
+class TestReportJson:
+    def test_schema_and_sections(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        payload = report_json(load_trace(path))
+        assert payload["schema"] == REPORT_JSON_SCHEMA
+        assert payload["manifest"]["seed"] == 7
+        assert {row["phase"] for row in payload["phases"]} == {
+            "phase.outer", "phase.inner"}
+        assert payload["caches"]["tables"]["hit_rate"] == 0.75
+        assert payload["engines"]["fast"]["conflict_rate"] == 0.4
+        assert len(payload["search_restarts"]) == 2
+        assert payload["recoveries"]["job_retries"] == 1
+        assert payload["corrupt_lines"] == 0
+
+    def test_strictly_valid_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace_run(path):
+            with span("work"):
+                event("sweep.point", avg_latency=math.nan)
+        payload = report_json(load_trace(path))
+        text = json.dumps(payload, allow_nan=False)  # raises on NaN/Inf
+        assert json.loads(text) == payload
+
+    def test_slowest_limit_respected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        payload = report_json(load_trace(path), slowest=1)
+        assert len(payload["slowest_spans"]) == 1
+
+
+class TestReportCli:
+    """``repro report --json`` end to end, with a schema check."""
+
+    def test_json_flag_emits_the_machine_readable_report(self, tmp_path,
+                                                         capsys):
+        from repro.cli import main
+
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        assert main(["report", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == REPORT_JSON_SCHEMA
+        required = {"schema", "manifest", "phases", "slowest_spans",
+                    "caches", "engines", "search_restarts", "recoveries",
+                    "metrics", "corrupt_lines"}
+        assert required <= set(payload)
+        assert payload["manifest"]["command"] == "test"
+
+    def test_text_report_remains_the_default(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "{" not in out.splitlines()[0]
+
+    def test_missing_file_exits_cleanly(self, tmp_path):
+        import pytest
+
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no trace file"):
+            main(["report", str(tmp_path / "missing.jsonl")])

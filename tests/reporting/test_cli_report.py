@@ -1,0 +1,79 @@
+"""CLI surface: ``repro report --study`` and the ``--report`` flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.reporting import validate_variation_record
+
+
+@pytest.fixture()
+def spec_path(tiny_spec, tmp_path):
+    path = tmp_path / "spec.json"
+    tiny_spec.save(path)
+    return path
+
+
+class TestReportStudy:
+    def test_writes_markdown_html_and_records(self, spec_path, tmp_path,
+                                              capsys):
+        md = tmp_path / "study.md"
+        html = tmp_path / "study.html"
+        records = tmp_path / "records.json"
+        assert main(["report", "--study", str(spec_path),
+                     "--md", str(md), "--html", str(html),
+                     "--records", str(records)]) == 0
+        assert md.read_text().startswith("# Variation study: tiny")
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        rows = json.loads(records.read_text())
+        assert len(rows) == 12      # the tiny grid: 3 x 2 x 2
+        for row in rows:
+            validate_variation_record(row)
+
+    def test_defaults_to_stdout_markdown(self, spec_path, capsys):
+        assert main(["report", "--study", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Variation study: tiny")
+        assert "## Verdict" in out
+
+    def test_baseline_override(self, spec_path, capsys):
+        assert main(["report", "--study", str(spec_path),
+                     "--baseline", "R1"]) == 0
+        assert "`R1/healthy/fast` (baseline)" in \
+            capsys.readouterr().out
+
+    def test_missing_spec_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", "--study", str(tmp_path / "nope.json")])
+
+    def test_invalid_spec_fails(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"type": "variation_study_spec",
+                                    "surprise": 1}))
+        with pytest.raises(SystemExit, match="surprise"):
+            main(["report", "--study", str(path)])
+
+    def test_no_arguments_fails(self):
+        with pytest.raises(SystemExit, match="--study"):
+            main(["report"])
+
+
+class TestExperimentReports:
+    def test_figures_report(self, tmp_path, capsys):
+        path = tmp_path / "figs.html"
+        assert main(["figures", "--fig", "3", "--randoms", "1",
+                     "--warmup", "100", "--measure", "300",
+                     "--report", str(path)]) == 0
+        page = path.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "OP/healthy/fig3" in page
+
+    def test_failures_report(self, tmp_path, capsys):
+        path = tmp_path / "faults.html"
+        assert main(["failures", "--switches", "8", "--seed", "11",
+                     "--clusters", "2", "--limit", "2",
+                     "--report", str(path)]) == 0
+        page = path.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "/faults" in page

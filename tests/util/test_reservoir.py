@@ -36,6 +36,26 @@ class TestReservoirSampler:
         rs = ReservoirSampler()
         assert math.isnan(rs.percentile(50))
 
+    def test_empty_percentiles_dict_is_explicitly_empty(self):
+        # Regression: an empty reservoir used to emit NaN-valued entries,
+        # which are not valid JSON and broke downstream rendering.
+        rs = ReservoirSampler()
+        assert rs.percentiles() == {}
+        assert rs.percentiles(qs=(10, 50, 90)) == {}
+        with pytest.raises(ValueError):
+            rs.percentiles(qs=(101,))
+
+    def test_empty_histogram_snapshot_is_explicitly_empty(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("latency")
+        assert h.snapshot() == {"count": 0}
+        h.observe(float("nan"))  # ignored, still empty
+        assert h.snapshot() == {"count": 0}
+        h.observe(3.0)
+        snap = h.snapshot()
+        assert snap["count"] == 1 and snap["p50"] == 3.0
+
     def test_percentiles_dict(self):
         rs = ReservoirSampler(seed=3)
         for x in np.linspace(0, 100, 101):
